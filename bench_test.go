@@ -1,0 +1,528 @@
+// Package cdcreplay's root benchmark suite regenerates every table and
+// figure of the paper's evaluation (§6) as a testing.B benchmark, plus the
+// ablations DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level drivers (live runs, paper-style printed tables) also live in
+// cmd/cdcbench; these benchmarks additionally time the pipeline stages and
+// report the headline metrics via b.ReportMetric.
+package cdcreplay
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"cdcreplay/internal/baseline"
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/harness"
+	"cdcreplay/internal/jacobi"
+	"cdcreplay/internal/lamport"
+	"cdcreplay/internal/mcb"
+	"cdcreplay/internal/record"
+	"cdcreplay/internal/replay"
+	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/tables"
+	"cdcreplay/internal/workload"
+)
+
+// quiet is the harness config used inside benchmarks.
+func quiet(seed int64) harness.Config { return harness.Config{Seed: seed} }
+
+// BenchmarkFig1LamportClockMonotonicity regenerates Fig. 1 and reports the
+// fraction of adjacent received-clock pairs that increase.
+func BenchmarkFig1LamportClockMonotonicity(b *testing.B) {
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig1(quiet(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.MonotoneFraction
+	}
+	b.ReportMetric(100*frac, "%monotone")
+}
+
+// fig13Stream is the shared MCB-like event stream for the compression
+// benchmarks.
+func fig13Stream() []tables.Event {
+	return workload.Stream(workload.MCBLike(100_000, 1, 1313))
+}
+
+// BenchmarkFig13CompressionMethods times each §6.1 compression method over
+// an identical MCB-like stream and reports bytes/event (the paper's 0.51
+// B/event headline for CDC).
+func BenchmarkFig13CompressionMethods(b *testing.B) {
+	events := fig13Stream()
+	matched := 0
+	for _, ev := range events {
+		if ev.Flag {
+			matched++
+		}
+	}
+	newCDC := func(omitMFID bool) baseline.Method {
+		enc, _ := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: true})
+		if omitMFID {
+			return baseline.NewCDCNoMFID(enc)
+		}
+		return baseline.NewCDC(enc)
+	}
+	cases := []struct {
+		name string
+		make func() baseline.Method
+	}{
+		{"raw", func() baseline.Method { return baseline.NewRaw() }},
+		{"gzip", func() baseline.Method { return baseline.NewGzip() }},
+		{"CDC_RE", func() baseline.Method { return baseline.NewRE(0) }},
+		{"CDC_RE_PE_LPE", func() baseline.Method { return newCDC(true) }},
+		{"CDC", func() baseline.Method { return newCDC(false) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var size int64
+			b.SetBytes(int64(len(events)))
+			for i := 0; i < b.N; i++ {
+				m := c.make()
+				for _, ev := range events {
+					if err := m.Observe(0, ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+				size = m.BytesWritten()
+			}
+			b.ReportMetric(float64(size)/float64(matched), "B/event")
+		})
+	}
+}
+
+// BenchmarkFig14PermutationHistogram regenerates Fig. 14's per-rank
+// permutation percentages and reports the mean.
+func BenchmarkFig14PermutationHistogram(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig14(quiet(int64(i) + 14))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = res.Summary.Mean
+	}
+	b.ReportMetric(mean, "%permuted")
+}
+
+// BenchmarkFig15RecordGrowth regenerates Fig. 15's storage-budget estimate
+// and reports how many hours a 500 MB node budget lasts under CDC at x1
+// intensity (paper: >24 h; gzip: ~5 h).
+func BenchmarkFig15RecordGrowth(b *testing.B) {
+	var cdcHours, gzipHours float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig15(quiet(int64(i) + 15))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cdcHours = res.BudgetHours["CDC"][1]
+		gzipHours = res.BudgetHours["gzip"][1]
+	}
+	b.ReportMetric(cdcHours, "CDC-h")
+	b.ReportMetric(gzipHours, "gzip-h")
+}
+
+// BenchmarkFig16RecordingOverhead regenerates Fig. 16's weak-scaling
+// throughput comparison: MCB without recording, with gzip recording and
+// with CDC recording. Each sub-benchmark reports tracks/sec.
+func BenchmarkFig16RecordingOverhead(b *testing.B) {
+	params := mcb.Params{Particles: 150, TimeSteps: 2, Seed: 16, TrackWork: 600}
+	const ranks = 8
+	for _, mode := range []string{"none", "gzip", "CDC"} {
+		b.Run(mode, func(b *testing.B) {
+			var tracks float64
+			for i := 0; i < b.N; i++ {
+				w := simmpi.NewWorld(ranks, simmpi.Options{Seed: int64(i), MaxJitter: 8})
+				var mu sync.Mutex
+				err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+					var stack simmpi.MPI = mpi
+					finish := func() error { return nil }
+					switch mode {
+					case "gzip":
+						rec := record.New(lamport.Wrap(mpi), baseline.NewGzip(), record.Options{})
+						stack, finish = rec, rec.Close
+					case "CDC":
+						enc, _ := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: true})
+						rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
+						stack, finish = rec, rec.Close
+					}
+					res, rerr := mcb.Run(stack, params)
+					if ferr := finish(); rerr == nil {
+						rerr = ferr
+					}
+					if rerr != nil {
+						return rerr
+					}
+					mu.Lock()
+					tracks = res.GlobalTracks
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(tracks*float64(b.N)/b.Elapsed().Seconds(), "tracks/s")
+		})
+	}
+}
+
+// BenchmarkFig17HiddenDeterminism regenerates Fig. 17: gzip vs CDC record
+// sizes for the hidden-deterministic Jacobi solver. Reports CDC's size as a
+// percentage of gzip's (paper: 2.2%).
+func BenchmarkFig17HiddenDeterminism(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Fig17(quiet(int64(i) + 17))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pct = res.CDCPercent
+	}
+	b.ReportMetric(pct, "%ofGzip")
+}
+
+// BenchmarkRecorderThroughput measures the §6.2 queue rates: how fast the
+// CDC goroutine drains events versus how fast an application produces
+// them. The drain rate must exceed the production rate by a wide margin so
+// the bounded observe queue never blocks the main thread.
+func BenchmarkRecorderThroughput(b *testing.B) {
+	events := fig13Stream()
+	b.SetBytes(int64(len(events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := simmpi.NewWorld(1, simmpi.Options{})
+		enc, _ := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: true})
+		rec := record.New(lamport.Wrap(w.Comm(0)), baseline.NewCDC(enc), record.Options{})
+		// Feed the backend through the recorder's queue directly by
+		// replaying observed rows; this times enqueue + CDC-thread drain.
+		for _, ev := range events {
+			rec.ObserveForBenchmark(ev)
+		}
+		if err := rec.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPiggybackOverhead measures the lamport layer's cost on the
+// message path (paper §6.2: 1.18%).
+func BenchmarkPiggybackOverhead(b *testing.B) {
+	for _, mode := range []string{"raw", "piggyback"} {
+		b.Run(mode, func(b *testing.B) {
+			w := simmpi.NewWorld(2, simmpi.Options{Seed: 1, MaxJitter: 0})
+			err := w.Run(func(mpi simmpi.MPI) error {
+				var stack simmpi.MPI = mpi
+				if mode == "piggyback" {
+					stack = lamport.Wrap(mpi)
+				}
+				peer := 1 - stack.Rank()
+				payload := make([]byte, 64)
+				for i := 0; i < b.N; i++ {
+					if stack.Rank() == 0 {
+						if err := stack.Send(peer, 0, payload); err != nil {
+							return err
+						}
+						req, _ := stack.Irecv(peer, 0)
+						if _, err := stack.Wait(req); err != nil {
+							return err
+						}
+					} else {
+						req, _ := stack.Irecv(peer, 0)
+						if _, err := stack.Wait(req); err != nil {
+							return err
+						}
+						if err := stack.Send(peer, 0, payload); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkReplayEndToEnd times a full record+replay cycle of a
+// non-deterministic gather, validating Theorems 1–2 every iteration.
+func BenchmarkReplayEndToEnd(b *testing.B) {
+	const ranks = 4
+	params := mcb.Params{Particles: 60, TimeSteps: 1, Seed: 3}
+	for i := 0; i < b.N; i++ {
+		files := make([][]byte, ranks)
+		tallies := make([]float64, ranks)
+		var mu sync.Mutex
+		w := simmpi.NewWorld(ranks, simmpi.Options{Seed: int64(i), MaxJitter: 8})
+		err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+			buf := &bytes.Buffer{}
+			enc, _ := core.NewEncoder(buf, core.EncoderOptions{})
+			rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
+			res, rerr := mcb.Run(rec, params)
+			if cerr := rec.Close(); rerr == nil {
+				rerr = cerr
+			}
+			mu.Lock()
+			files[rank] = buf.Bytes()
+			tallies[rank] = res.Tally
+			mu.Unlock()
+			return rerr
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: int64(i) + 7777, MaxJitter: 8})
+		err = w2.RunRanked(func(rank int, mpi simmpi.MPI) error {
+			recFile, err := core.ReadRecord(bytes.NewReader(files[rank]))
+			if err != nil {
+				return err
+			}
+			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
+			res, rerr := mcb.Run(rp, params)
+			if rerr != nil {
+				return rerr
+			}
+			if res.Tally != tallies[rank] {
+				return fmt.Errorf("rank %d tally diverged", rank)
+			}
+			return rp.Verify()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the epoch chunk size (§3.5): smaller
+// chunks flush more often (less memory, more epoch lines), larger chunks
+// compress better. Reports bytes/event per size.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	events := fig13Stream()
+	matched := 0
+	for _, ev := range events {
+		if ev.Flag {
+			matched++
+		}
+	}
+	for _, chunk := range []int{256, 1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			var size int64
+			for i := 0; i < b.N; i++ {
+				enc, _ := core.NewEncoder(io.Discard, core.EncoderOptions{
+					ChunkEvents: chunk, OmitSenderColumn: true,
+				})
+				m := baseline.NewCDC(enc)
+				for _, ev := range events {
+					if err := m.Observe(0, ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+				size = m.BytesWritten()
+			}
+			b.ReportMetric(float64(size)/float64(matched), "B/event")
+		})
+	}
+}
+
+// BenchmarkAblationSenderColumn measures the cost of the replay-robustness
+// sender column this reproduction adds (DESIGN.md): paper-faithful format
+// versus extended format.
+func BenchmarkAblationSenderColumn(b *testing.B) {
+	events := fig13Stream()
+	matched := 0
+	for _, ev := range events {
+		if ev.Flag {
+			matched++
+		}
+	}
+	for _, withCol := range []bool{false, true} {
+		name := "paperFormat"
+		if withCol {
+			name = "withSenderColumn"
+		}
+		b.Run(name, func(b *testing.B) {
+			var size int64
+			for i := 0; i < b.N; i++ {
+				enc, _ := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: !withCol})
+				m := baseline.NewCDC(enc)
+				for _, ev := range events {
+					if err := m.Observe(0, ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+				size = m.BytesWritten()
+			}
+			b.ReportMetric(float64(size)/float64(matched), "B/event")
+		})
+	}
+}
+
+// BenchmarkAblationDisorder sweeps the cross-sender reordering window: the
+// more the observed order deviates from the reference order, the more
+// permutation rows CDC must store (§3.3). Reports bytes/event.
+func BenchmarkAblationDisorder(b *testing.B) {
+	for _, disorder := range []int{0, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("window%d", disorder), func(b *testing.B) {
+			events := workload.Stream(workload.StreamParams{
+				Events: 100_000, Senders: 8, Disorder: disorder, Seed: 99,
+			})
+			var size int64
+			for i := 0; i < b.N; i++ {
+				enc, _ := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: true})
+				m := baseline.NewCDC(enc)
+				for _, ev := range events {
+					if err := m.Observe(0, ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := m.Close(); err != nil {
+					b.Fatal(err)
+				}
+				size = m.BytesWritten()
+			}
+			b.ReportMetric(float64(size)/100_000, "B/event")
+		})
+	}
+}
+
+// BenchmarkJacobiSolver times the hidden-determinism workload itself.
+func BenchmarkJacobiSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := simmpi.NewWorld(4, simmpi.Options{Seed: int64(i), MaxJitter: 4})
+		err := w.Run(func(mpi simmpi.MPI) error {
+			_, err := jacobi.Run(mpi, jacobi.Params{Rows: 8, Cols: 16, Iterations: 50})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// captureEvents runs MCB under a capturing recorder with the given clock
+// policy and jitter, returning the per-rank event rows.
+func captureEvents(b *testing.B, ranks int, jitter int, policy lamport.Policy, seed int64) [][]tables.Event {
+	b.Helper()
+	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: jitter})
+	rows := make([][]tables.Event, ranks)
+	var mu sync.Mutex
+	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		col := &eventCollector{}
+		rec := record.New(lamport.WrapPolicy(mpi, policy), col, record.Options{})
+		_, rerr := mcb.Run(rec, mcb.Params{Particles: 120, TimeSteps: 2, Seed: seed})
+		if cerr := rec.Close(); rerr == nil {
+			rerr = cerr
+		}
+		mu.Lock()
+		rows[rank] = col.events
+		mu.Unlock()
+		return rerr
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// eventCollector is a minimal capturing backend.
+type eventCollector struct {
+	mu     sync.Mutex
+	events []tables.Event
+}
+
+func (c *eventCollector) Name() string { return "collector" }
+
+func (c *eventCollector) Observe(_ uint64, ev tables.Event) error {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *eventCollector) Close() error { return nil }
+
+func (c *eventCollector) BytesWritten() int64 { return 0 }
+
+func encodeRows(b *testing.B, rows [][]tables.Event) (bytesTotal int64, permuted, matched uint64) {
+	b.Helper()
+	for _, evs := range rows {
+		enc, err := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range evs {
+			if err := enc.Observe(0, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := enc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		bytesTotal += enc.BytesWritten()
+		permuted += enc.Stats().PermutedMessages
+		matched += enc.Stats().MatchedEvents
+	}
+	return
+}
+
+// BenchmarkAblationClockPolicy compares the paper's Definition 4 clock with
+// the ReceiveMax alternative (§4.3 names other replayable clock definitions
+// as future work): how close each reference order is to the observed order
+// on live MCB traffic, and what the record costs.
+func BenchmarkAblationClockPolicy(b *testing.B) {
+	for _, pc := range []struct {
+		name   string
+		policy lamport.Policy
+	}{{"classic", lamport.Classic}, {"receiveMax", lamport.ReceiveMax}} {
+		b.Run(pc.name, func(b *testing.B) {
+			var size int64
+			var permuted, matched uint64
+			for i := 0; i < b.N; i++ {
+				rows := captureEvents(b, 8, 8, pc.policy, int64(i)+500)
+				size, permuted, matched = encodeRows(b, rows)
+			}
+			if matched > 0 {
+				b.ReportMetric(100*float64(permuted)/float64(matched), "%permuted")
+				b.ReportMetric(float64(size)/float64(matched), "B/event")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNetworkJitter sweeps the delivery-jitter window: more
+// network noise means more deviation from the reference order and a larger
+// record — the mechanism behind Figs. 13/14.
+func BenchmarkAblationNetworkJitter(b *testing.B) {
+	for _, jitter := range []int{0, 4, 16, 64} {
+		b.Run(fmt.Sprintf("jitter%d", jitter), func(b *testing.B) {
+			var size int64
+			var permuted, matched uint64
+			for i := 0; i < b.N; i++ {
+				rows := captureEvents(b, 8, jitter, lamport.Classic, int64(i)+700)
+				size, permuted, matched = encodeRows(b, rows)
+			}
+			if matched > 0 {
+				b.ReportMetric(100*float64(permuted)/float64(matched), "%permuted")
+				b.ReportMetric(float64(size)/float64(matched), "B/event")
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+// Command cdcbench regenerates the paper's evaluation tables and figures
+// (§6) on the simulated substrate.
+//
+// Usage:
+//
+//	cdcbench -exp all            # every experiment at quick scale
+//	cdcbench -exp fig13 -full    # one experiment at paper-leaning scale
+//
+// Experiments: fig1, fig13, fig14, fig15, fig16, fig17, queue, piggyback,
+// replay, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdcreplay/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|all)")
+	full := flag.Bool("full", false, "paper-leaning scales (slower)")
+	seed := flag.Int64("seed", 1, "network noise seed")
+	flag.Parse()
+
+	cfg := harness.Config{Out: os.Stdout, Full: *full, Seed: *seed}
+
+	type runner struct {
+		name string
+		fn   func(harness.Config) error
+	}
+	wrap := func(f func(harness.Config) (any, error)) func(harness.Config) error {
+		return func(c harness.Config) error { _, err := f(c); return err }
+	}
+	runners := []runner{
+		{"fig1", wrap(func(c harness.Config) (any, error) { return harness.Fig1(c) })},
+		{"fig13", wrap(func(c harness.Config) (any, error) { return harness.Fig13(c) })},
+		{"fig14", wrap(func(c harness.Config) (any, error) { return harness.Fig14(c) })},
+		{"fig15", wrap(func(c harness.Config) (any, error) { return harness.Fig15(c) })},
+		{"fig16", wrap(func(c harness.Config) (any, error) { return harness.Fig16(c) })},
+		{"fig17", wrap(func(c harness.Config) (any, error) { return harness.Fig17(c) })},
+		{"queue", wrap(func(c harness.Config) (any, error) { return harness.QueueRates(c) })},
+		{"piggyback", wrap(func(c harness.Config) (any, error) { return harness.PiggybackOverhead(c) })},
+		{"replay", wrap(func(c harness.Config) (any, error) { return harness.ReplayValidation(c) })},
+		{"ablations", wrap(func(c harness.Config) (any, error) { return harness.Ablations(c) })},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		ran = true
+		if err := r.fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "cdcbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "cdcbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

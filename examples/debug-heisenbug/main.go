@@ -1,0 +1,161 @@
+// Debugging a heisenbug: the workflow the paper builds CDC for (§1–2).
+//
+// A "bug" in this MCB configuration manifests only under certain receive
+// orders: a rank whose local tally overshoots a threshold mid-run trips an
+// assertion. Because the receive order is non-deterministic, plain reruns
+// may or may not reproduce the failure — the classic heisenbug. The CDC
+// workflow: run with recording turned on until the bug bites, then replay
+// the failing record as many times as the investigation needs; the
+// assertion trips at the identical point every time.
+//
+// Run:
+//
+//	go run ./examples/debug-heisenbug
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"cdcreplay/internal/baseline"
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/lamport"
+	"cdcreplay/internal/mcb"
+	"cdcreplay/internal/record"
+	"cdcreplay/internal/replay"
+	"cdcreplay/internal/simmpi"
+)
+
+const ranks = 6
+
+var params = mcb.Params{Particles: 120, TimeSteps: 2, Seed: 11, CrossProb: 0.5}
+
+// errBug is the simulated defect: an order-sensitive condition.
+var errBug = errors.New("assertion failed: tally drift exceeded budget")
+
+// buggyApp runs MCB and then applies a brittle order-sensitive check on
+// rank 0, standing in for real codes whose control flow depends on
+// accumulated floating-point state.
+func buggyApp(mpi simmpi.MPI) (float64, error) {
+	res, err := mcb.Run(mpi, params)
+	if err != nil {
+		return 0, err
+	}
+	if mpi.Rank() == 0 {
+		// The drift of the order-sensitive global tally from a fixed
+		// baseline decides the "assertion". Different receive orders give
+		// different last-bits, and amplification makes some orders cross
+		// the line.
+		drift := res.GlobalTally*1e9 - float64(int64(res.GlobalTally*1e9))
+		if drift > 0.5 {
+			return res.GlobalTally, fmt.Errorf("%w (drift %.3f)", errBug, drift)
+		}
+	}
+	return res.GlobalTally, nil
+}
+
+type runOutcome struct {
+	tally  float64
+	failed bool
+}
+
+func runRecorded(seed int64) (runOutcome, [][]byte, error) {
+	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
+	files := make([][]byte, ranks)
+	var out runOutcome
+	var mu sync.Mutex
+	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		buf := &bytes.Buffer{}
+		enc, err := core.NewEncoder(buf, core.EncoderOptions{})
+		if err != nil {
+			return err
+		}
+		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
+		tally, aerr := buggyApp(rec)
+		if cerr := rec.Close(); cerr != nil {
+			return cerr
+		}
+		mu.Lock()
+		files[rank] = buf.Bytes()
+		if rank == 0 {
+			out.tally = tally
+			out.failed = errors.Is(aerr, errBug)
+		}
+		mu.Unlock()
+		if aerr != nil && !errors.Is(aerr, errBug) {
+			return aerr
+		}
+		return nil
+	})
+	return out, files, err
+}
+
+func replayRecorded(files [][]byte, seed int64) (runOutcome, error) {
+	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
+	var out runOutcome
+	var mu sync.Mutex
+	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		recFile, err := core.ReadRecord(bytes.NewReader(files[rank]))
+		if err != nil {
+			return err
+		}
+		rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
+		tally, aerr := buggyApp(rp)
+		if verr := rp.Verify(); verr != nil {
+			return verr
+		}
+		mu.Lock()
+		if rank == 0 {
+			out.tally = tally
+			out.failed = errors.Is(aerr, errBug)
+		}
+		mu.Unlock()
+		if aerr != nil && !errors.Is(aerr, errBug) {
+			return aerr
+		}
+		return nil
+	})
+	return out, err
+}
+
+func main() {
+	// Phase 1: run with recording on until the bug manifests.
+	var failing [][]byte
+	var recorded runOutcome
+	for attempt := 1; attempt <= 50; attempt++ {
+		out, files, err := runRecorded(int64(attempt))
+		if err != nil {
+			log.Fatalf("run %d: %v", attempt, err)
+		}
+		status := "ok"
+		if out.failed {
+			status = "ASSERTION FAILED ← got it, keeping this record"
+		}
+		fmt.Printf("recorded run %2d: tally %.17g  %s\n", attempt, out.tally, status)
+		if out.failed {
+			failing, recorded = files, out
+			break
+		}
+	}
+	if failing == nil {
+		fmt.Println("the bug did not manifest in 50 runs; try again (it is a heisenbug, after all)")
+		return
+	}
+
+	// Phase 2: replay the failing record deterministically.
+	fmt.Println("\nreplaying the failing record three times on differently-timed networks:")
+	for i, seed := range []int64{901, 902, 903} {
+		out, err := replayRecorded(failing, seed)
+		if err != nil {
+			log.Fatalf("replay %d: %v", i, err)
+		}
+		if !out.failed || out.tally != recorded.tally {
+			log.Fatalf("replay %d did not reproduce the failure (tally %.17g, failed=%v)", i, out.tally, out.failed)
+		}
+		fmt.Printf("  replay %d: tally %.17g  assertion failed again — deterministically\n", i+1, out.tally)
+	}
+	fmt.Println("\nthe bug is now reproducible on demand; attach your debugger and step away.")
+}

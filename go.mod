@@ -1,0 +1,3 @@
+module cdcreplay
+
+go 1.22

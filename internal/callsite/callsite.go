@@ -1,0 +1,58 @@
+// Package callsite derives stable matching-function identifiers from the
+// program counter of the MF call (paper §4.4: "we analyze the call stacks
+// of the function calls, and separately manage the record tables for the
+// different MF call instances").
+//
+// The identifier is an FNV-1a hash of the caller's file:line, so it is
+// stable between the record run and the replay run of the same program —
+// unlike raw program-counter values, which can move between builds.
+package callsite
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+)
+
+type entry struct {
+	id   uint64
+	name string
+}
+
+var cache sync.Map // uintptr (pc) -> entry
+
+// ID returns the identifier and human-readable name (file:line) of the
+// caller skip frames above this function. skip follows runtime.Caller:
+// skip=1 identifies ID's caller, skip=2 that function's caller, and so on.
+func ID(skip int) (uint64, string) {
+	pc, file, line, ok := runtime.Caller(skip)
+	if !ok {
+		return 0, "unknown"
+	}
+	if e, hit := cache.Load(pc); hit {
+		ent := e.(entry)
+		return ent.id, ent.name
+	}
+	// Keep the last two path components: unambiguous enough for humans,
+	// and short enough that name frames stay negligible in the record.
+	slashes := 0
+	for i := len(file) - 1; i >= 0; i-- {
+		if file[i] == '/' {
+			slashes++
+			if slashes == 2 {
+				file = file[i+1:]
+				break
+			}
+		}
+	}
+	name := fmt.Sprintf("%s:%d", file, line)
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	ent := entry{id: h.Sum64(), name: name}
+	if ent.id == 0 {
+		ent.id = 1 // reserve 0 for "MF identification disabled"
+	}
+	cache.Store(pc, ent)
+	return ent.id, ent.name
+}

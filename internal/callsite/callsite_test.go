@@ -1,0 +1,63 @@
+package callsite
+
+import (
+	"strings"
+	"testing"
+)
+
+func fromHelperA() (uint64, string) { return ID(1) }
+
+func fromHelperB() (uint64, string) { return ID(1) }
+
+func TestDistinctCallsitesGetDistinctIDs(t *testing.T) {
+	idA, nameA := fromHelperA()
+	idB, nameB := fromHelperB()
+	if idA == idB {
+		t.Fatalf("distinct callsites share id %#x (%s vs %s)", idA, nameA, nameB)
+	}
+	if !strings.Contains(nameA, "callsite_test.go") {
+		t.Fatalf("name %q does not identify the source file", nameA)
+	}
+}
+
+func TestSameCallsiteIsStable(t *testing.T) {
+	var ids []uint64
+	var names []string
+	for i := 0; i < 3; i++ {
+		id, name := fromHelperA()
+		ids = append(ids, id)
+		names = append(names, name)
+	}
+	for i := 1; i < 3; i++ {
+		if ids[i] != ids[0] || names[i] != names[0] {
+			t.Fatalf("callsite identity unstable: %v %v", ids, names)
+		}
+	}
+}
+
+func TestLoopCallsiteIsOne(t *testing.T) {
+	// All iterations of a loop share a source line, hence one MF id —
+	// the paper's Fig. 3 pattern relies on this.
+	seen := map[uint64]bool{}
+	for i := 0; i < 5; i++ {
+		id, _ := ID(1)
+		seen[id] = true
+	}
+	if len(seen) != 1 {
+		t.Fatalf("loop produced %d distinct ids", len(seen))
+	}
+}
+
+func TestIDNeverZero(t *testing.T) {
+	id, _ := fromHelperA()
+	if id == 0 {
+		t.Fatal("callsite id 0 is reserved for disabled MF identification")
+	}
+}
+
+func TestBadSkipIsHarmless(t *testing.T) {
+	id, name := ID(1000)
+	if id != 0 || name != "unknown" {
+		t.Fatalf("got %#x %q for absurd skip", id, name)
+	}
+}

@@ -1,0 +1,341 @@
+// Package core implements the complete Clock Delta Compression pipeline —
+// the paper's primary contribution (§3): redundancy elimination,
+// permutation encoding against the Lamport-clock reference order, linear
+// predictive encoding of index columns, epoch enforcement for chunked
+// flushing, and a final gzip pass over the serialized stream.
+//
+// The Encoder consumes the per-callsite event stream a recorder produces
+// and writes a compact record file; the Decoder reads it back into chunks
+// for the replay engine. Between them they realize Fig. 2's "CDC encoding"
+// and "CDC decoding" boxes.
+//
+// # Record file layout
+//
+//	magic "CDCRECv1"
+//	gzip stream of frames:
+//	  frame := kind byte, varint payload length, payload
+//	  kind 1: chunk           (cdcformat.Chunk)
+//	  kind 2: callsite name   (varint id, UTF-8 name)
+//
+// Chunks for one callsite appear in record order; chunks of different
+// callsites interleave in flush order.
+package core
+
+import (
+	"compress/gzip"
+	"errors"
+	"io"
+
+	"cdcreplay/internal/cdcformat"
+	"cdcreplay/internal/tables"
+	"cdcreplay/internal/varint"
+)
+
+// Magic is the record file signature.
+const Magic = "CDCRECv1"
+
+// Frame kinds.
+const (
+	frameChunk    = 1
+	frameCallsite = 2
+)
+
+// maxFrameLen bounds a frame payload during decode (corruption guard).
+const maxFrameLen = 1 << 30
+
+// EncoderOptions tune the Encoder.
+type EncoderOptions struct {
+	// ChunkEvents is the number of matched events per chunk before a
+	// flush (§3.5 epoch enforcement). Default 4096.
+	ChunkEvents int
+	// GzipLevel is the compression level for the final gzip pass.
+	// Default gzip.DefaultCompression.
+	GzipLevel int
+	// OmitSenderColumn drops the reference-order sender column robustness
+	// extension, producing the paper's exact format. Records without the
+	// column replay correctly for polling-style applications (the
+	// patterns the paper evaluates) but can stall or abort on
+	// tightly-coupled blocking exchanges; see cdcformat.Chunk.Senders.
+	OmitSenderColumn bool
+}
+
+func (o *EncoderOptions) fill() {
+	if o.ChunkEvents == 0 {
+		o.ChunkEvents = 4096
+	}
+	if o.GzipLevel == 0 {
+		o.GzipLevel = gzip.DefaultCompression
+	}
+}
+
+// Stats aggregates what the encoder has seen, for the paper's evaluation
+// metrics.
+type Stats struct {
+	// Rows is the number of record-table rows observed (Fig. 4 rows).
+	Rows uint64
+	// MatchedEvents is the number of matched receive events.
+	MatchedEvents uint64
+	// UnmatchedTests is the total count of failed test calls.
+	UnmatchedTests uint64
+	// PermutedMessages is the number of permutation-difference rows
+	// (paper's Np for the Fig. 14 percentage).
+	PermutedMessages uint64
+	// ValuesOriginal is the stored-value count of the uncompressed format
+	// (five per row).
+	ValuesOriginal uint64
+	// ValuesCDC is the stored-value count after full CDC encoding.
+	ValuesCDC uint64
+	// Chunks is the number of chunks flushed.
+	Chunks uint64
+}
+
+// PermutationPercent returns 100·Np/N, the Fig. 14 metric.
+func (s Stats) PermutationPercent() float64 {
+	if s.MatchedEvents == 0 {
+		return 0
+	}
+	return 100 * float64(s.PermutedMessages) / float64(s.MatchedEvents)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Encoder applies CDC to an event stream and writes the record file.
+// It is not safe for concurrent use; the recorder drives it from its
+// dedicated CDC goroutine.
+type Encoder struct {
+	opts    EncoderOptions
+	cw      *countingWriter
+	zw      *gzip.Writer
+	pending map[uint64]*pendingStream
+	order   []uint64 // callsites in first-seen order, for deterministic flush
+	named   map[uint64]bool
+	stats   Stats
+	scratch []byte
+	closed  bool
+}
+
+type pendingStream struct {
+	events  []tables.Event
+	matched int
+	// frontier is the cumulative per-sender epoch frontier across all
+	// flushed chunks, used to pin boundary-inversion exceptions.
+	frontier map[int32]uint64
+}
+
+// NewEncoder creates an Encoder writing to w.
+func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
+	opts.fill()
+	cw := &countingWriter{w: w}
+	if _, err := io.WriteString(cw, Magic); err != nil {
+		return nil, err
+	}
+	zw, err := gzip.NewWriterLevel(cw, opts.GzipLevel)
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		opts:    opts,
+		cw:      cw,
+		zw:      zw,
+		pending: make(map[uint64]*pendingStream),
+		named:   make(map[uint64]bool),
+	}, nil
+}
+
+// RegisterCallsite records a human-readable name for a callsite ID
+// (file:line of the MF call), written once into the stream.
+func (e *Encoder) RegisterCallsite(id uint64, name string) error {
+	if e.named[id] {
+		return nil
+	}
+	e.named[id] = true
+	var w varint.Writer
+	w.Uint(id)
+	w.Bytes([]byte(name))
+	return e.writeFrame(frameCallsite, w.Result())
+}
+
+// Observe feeds one event row for a callsite. Matched rows are flushed in
+// chunks of ChunkEvents.
+func (e *Encoder) Observe(callsite uint64, ev tables.Event) error {
+	if e.closed {
+		return errors.New("core: Observe after Close")
+	}
+	ps := e.pending[callsite]
+	if ps == nil {
+		ps = &pendingStream{}
+		e.pending[callsite] = ps
+		e.order = append(e.order, callsite)
+	}
+	e.stats.Rows++
+	if ev.Flag {
+		e.stats.MatchedEvents++
+		ps.matched++
+	} else {
+		e.stats.UnmatchedTests += ev.Count
+	}
+	e.stats.ValuesOriginal += 5
+	ps.events = append(ps.events, ev)
+	// Flush only at a group boundary: a with_next event is received
+	// together with its successor, and the replay engine releases such
+	// groups in a single MF call, so a group must never straddle chunks.
+	if ps.matched >= e.opts.ChunkEvents && ev.Flag && !ev.WithNext {
+		return e.flush(callsite, ps)
+	}
+	return nil
+}
+
+func (e *Encoder) flush(callsite uint64, ps *pendingStream) error {
+	if len(ps.events) == 0 {
+		return nil
+	}
+	var chunk *cdcformat.Chunk
+	if e.opts.OmitSenderColumn {
+		chunk = cdcformat.BuildChunk(callsite, ps.events)
+	} else {
+		chunk = cdcformat.BuildChunkWithSenders(callsite, ps.events)
+	}
+	// Pin messages that an application-level same-sender inversion pushed
+	// past a flush boundary: their clocks do not exceed a previously
+	// flushed frontier, so window-based membership needs the explicit
+	// exception entry.
+	if ps.frontier == nil {
+		ps.frontier = make(map[int32]uint64)
+	}
+	for _, ev := range ps.events {
+		if ev.Flag && ev.Clock <= ps.frontier[ev.Rank] {
+			chunk.Exceptions = append(chunk.Exceptions,
+				tables.MatchedEntry{Rank: ev.Rank, Clock: ev.Clock})
+		}
+	}
+	for _, ep := range chunk.EpochLine {
+		if ep.Clock > ps.frontier[ep.Rank] {
+			ps.frontier[ep.Rank] = ep.Clock
+		}
+	}
+	ps.events = ps.events[:0]
+	ps.matched = 0
+	e.stats.Chunks++
+	e.stats.PermutedMessages += uint64(len(chunk.Moves))
+	e.stats.ValuesCDC += uint64(chunk.ValueCount())
+	e.scratch = chunk.Marshal(e.scratch[:0])
+	return e.writeFrame(frameChunk, e.scratch)
+}
+
+func (e *Encoder) writeFrame(kind byte, payload []byte) error {
+	hdr := varint.AppendUint([]byte{kind}, uint64(len(payload)))
+	if _, err := e.zw.Write(hdr); err != nil {
+		return err
+	}
+	_, err := e.zw.Write(payload)
+	return err
+}
+
+// FlushAll flushes every pending stream to storage as chunks, regardless
+// of how full they are — the periodic memory-bound flush §3.5 motivates
+// ("debugging tools need to minimize memory usage"). A stream whose
+// buffered events end inside a with_next group is skipped this round:
+// groups must never straddle chunks.
+func (e *Encoder) FlushAll() error {
+	if e.closed {
+		return errors.New("core: FlushAll after Close")
+	}
+	for _, cs := range e.order {
+		ps := e.pending[cs]
+		if n := len(ps.events); n > 0 {
+			if last := ps.events[n-1]; last.Flag && last.WithNext {
+				continue
+			}
+		}
+		if err := e.flush(cs, ps); err != nil {
+			return err
+		}
+	}
+	// Push the frames through the compressor so they actually reach
+	// storage now; a sync flush costs a few bytes per call, the price of
+	// crash-durable periodic flushing.
+	return e.zw.Flush()
+}
+
+// Close flushes every pending stream and finalizes the gzip stream. The
+// Encoder cannot be used afterwards.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for _, cs := range e.order {
+		if err := e.flush(cs, e.pending[cs]); err != nil {
+			return err
+		}
+	}
+	return e.zw.Close()
+}
+
+// BytesWritten reports the compressed bytes emitted so far (exact after
+// Close).
+func (e *Encoder) BytesWritten() int64 { return e.cw.n }
+
+// Stats returns the accumulated statistics.
+func (e *Encoder) Stats() Stats { return e.stats }
+
+// Record is a fully decoded record file.
+type Record struct {
+	// Chunks holds each callsite's chunks in record order.
+	Chunks map[uint64][]*cdcformat.Chunk
+	// Names maps callsite IDs to their registered names.
+	Names map[uint64]string
+	// order lists chunk callsites in stream order (with repeats).
+	order []uint64
+}
+
+// Callsites returns the callsite IDs present, in first-chunk order.
+func (r *Record) Callsites() []uint64 {
+	seen := make(map[uint64]bool, len(r.Chunks))
+	var out []uint64
+	for _, cs := range r.order {
+		if !seen[cs] {
+			seen[cs] = true
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// ReadRecord decodes a complete record file. It is a convenience over
+// FrameReader, which callers with memory constraints can use directly.
+func ReadRecord(rd io.Reader) (*Record, error) {
+	fr, err := NewFrameReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close()
+	rec := &Record{
+		Chunks: make(map[uint64][]*cdcformat.Chunk),
+		Names:  make(map[uint64]string),
+	}
+	for {
+		f, err := fr.Next()
+		if err == io.EOF {
+			return rec, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if f.Chunk != nil {
+			rec.Chunks[f.Chunk.Callsite] = append(rec.Chunks[f.Chunk.Callsite], f.Chunk)
+			rec.order = append(rec.order, f.Chunk.Callsite)
+			continue
+		}
+		rec.Names[f.CallsiteID] = f.CallsiteName
+	}
+}

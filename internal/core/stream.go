@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+
+	"cdcreplay/internal/cdcformat"
+	"cdcreplay/internal/varint"
+)
+
+// Frame is one decoded record-stream frame.
+type Frame struct {
+	// Chunk is non-nil for chunk frames.
+	Chunk *cdcformat.Chunk
+	// CallsiteID and CallsiteName are set for callsite-name frames.
+	CallsiteID   uint64
+	CallsiteName string
+}
+
+// FrameReader decodes a record file incrementally, one frame at a time,
+// without materializing the whole stream — the memory-bounded path a
+// replay-side CDC thread would use (paper Fig. 11's decode box). ReadRecord
+// is a convenience built on top of it.
+type FrameReader struct {
+	zr  *gzip.Reader
+	br  *bufio.Reader
+	err error
+}
+
+// NewFrameReader validates the magic and opens the gzip stream.
+func NewFrameReader(rd io.Reader) (*FrameReader, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(rd, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	zr, err := gzip.NewReader(rd)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening gzip stream: %w", err)
+	}
+	return &FrameReader{zr: zr, br: bufio.NewReader(zr)}, nil
+}
+
+// readUvarint decodes one unsigned varint from the buffered stream.
+func (fr *FrameReader) readUvarint() (uint64, error) {
+	var u uint64
+	var shift uint
+	for i := 0; ; i++ {
+		if i == 10 {
+			return 0, varint.ErrOverflow
+		}
+		b, err := fr.br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		u |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return u, nil
+		}
+		shift += 7
+	}
+}
+
+// Next returns the next frame, or io.EOF at a clean end of stream.
+func (fr *FrameReader) Next() (*Frame, error) {
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	kind, err := fr.br.ReadByte()
+	if err == io.EOF {
+		fr.err = io.EOF
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fr.fail(fmt.Errorf("core: frame kind: %w", err))
+	}
+	n, err := fr.readUvarint()
+	if err != nil {
+		return nil, fr.fail(fmt.Errorf("core: frame length: %w", noEOF(err)))
+	}
+	if n > maxFrameLen {
+		return nil, fr.fail(fmt.Errorf("core: frame too large: %d", n))
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(fr.br, payload); err != nil {
+		return nil, fr.fail(fmt.Errorf("core: frame payload: %w", noEOF(err)))
+	}
+	pr := varint.NewReader(payload)
+	switch kind {
+	case frameChunk:
+		chunk, err := cdcformat.Unmarshal(pr)
+		if err != nil {
+			return nil, fr.fail(err)
+		}
+		if pr.Len() != 0 {
+			return nil, fr.fail(fmt.Errorf("core: %d trailing bytes in chunk frame", pr.Len()))
+		}
+		return &Frame{Chunk: chunk}, nil
+	case frameCallsite:
+		id, err := pr.Uint()
+		if err != nil {
+			return nil, fr.fail(fmt.Errorf("core: callsite id: %w", err))
+		}
+		name, err := pr.Bytes()
+		if err != nil {
+			return nil, fr.fail(fmt.Errorf("core: callsite name: %w", err))
+		}
+		return &Frame{CallsiteID: id, CallsiteName: string(name)}, nil
+	default:
+		return nil, fr.fail(fmt.Errorf("core: unknown frame kind %d", kind))
+	}
+}
+
+// Close releases the gzip reader. It does not close the underlying reader.
+func (fr *FrameReader) Close() error { return fr.zr.Close() }
+
+func (fr *FrameReader) fail(err error) error {
+	fr.err = err
+	return err
+}
+
+// noEOF upgrades a bare EOF inside a frame to ErrUnexpectedEOF: the stream
+// ended mid-frame, which is corruption, not a clean end.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

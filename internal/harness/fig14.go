@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"io"
+
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/mcb"
+	"cdcreplay/internal/stats"
+)
+
+// Fig14Result reproduces paper Fig. 14: the per-rank percentage of
+// permutated messages on MCB.
+type Fig14Result struct {
+	Ranks int
+	// Percent holds each rank's 100·Np/N.
+	Percent []float64
+	// Histogram bins the percentages in 5%-wide bins like the paper.
+	Histogram *stats.Histogram
+	// Summary describes the distribution (the paper reports ~30% mean).
+	Summary stats.Summary
+}
+
+// Fig14 measures the observed-vs-reference similarity per rank.
+func Fig14(cfg Config) (*Fig14Result, error) {
+	cfg.fill()
+	ranks := cfg.pick(32, 96)
+	run, err := captureMCB(&cfg, ranks, mcb.Params{
+		Particles: cfg.pick(150, 800),
+		TimeSteps: cfg.pick(2, 4),
+		Seed:      cfg.Seed + 14,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fig14FromRun(&cfg, run)
+}
+
+func fig14FromRun(cfg *Config, run *MCBRun) (*Fig14Result, error) {
+	res := &Fig14Result{
+		Ranks:     run.Ranks,
+		Histogram: stats.NewHistogram(0, 100, 20),
+	}
+	for _, rows := range run.Rows {
+		enc, err := core.NewEncoder(io.Discard, core.EncoderOptions{OmitSenderColumn: true})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if err := enc.Observe(row.Callsite, row.Ev); err != nil {
+				return nil, err
+			}
+		}
+		if err := enc.Close(); err != nil {
+			return nil, err
+		}
+		p := enc.Stats().PermutationPercent()
+		res.Percent = append(res.Percent, p)
+		res.Histogram.Add(p)
+	}
+	res.Summary = stats.Summarize(res.Percent)
+
+	cfg.printf("Figure 14: percentage of permutated messages per rank (MCB, %d ranks)\n", run.Ranks)
+	cfg.printf("%s", res.Histogram.Render(40))
+	cfg.printf("  mean %.1f%%, median %.1f%%, min %.1f%%, max %.1f%% (paper: ~30%% mean)\n",
+		res.Summary.Mean, res.Summary.Median, res.Summary.Min, res.Summary.Max)
+	return res, nil
+}

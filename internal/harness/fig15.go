@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"cdcreplay/internal/mcb"
+)
+
+// Fig15Point is one sample of the per-node record-size estimate.
+type Fig15Point struct {
+	Method    string
+	Intensity float64
+	Hours     float64
+	MB        float64
+}
+
+// Fig15Result reproduces paper Fig. 15: per-node record-size estimates as
+// simulation time increases, for gzip and CDC at communication intensities
+// ×1, ×1.5 and ×2. Like the paper, the curve is an extrapolation: measured
+// bytes/event × measured events/sec/process × 24 processes/node × time.
+type Fig15Result struct {
+	// EventsPerSecPerProc is the measured event production rate.
+	EventsPerSecPerProc float64
+	// BytesPerEvent by method name.
+	BytesPerEvent map[string]float64
+	Points        []Fig15Point
+	// BudgetHours reports how long each (method, intensity) combination
+	// can record into a 500 MB node-local budget (the paper's ramdisk
+	// discussion: gzip ~5h vs CDC >24h at ×1).
+	BudgetHours map[string]map[float64]float64
+}
+
+// ProcsPerNode matches Catalyst's 24 cores/node (paper Table 1).
+const ProcsPerNode = 24
+
+// Fig15Budget is the node-local storage budget the paper discusses.
+const Fig15Budget = 500.0 // MB
+
+// PaperEventsPerSecPerProc is MCB's event production rate on Catalyst
+// (§6.1: about 9.7 million receive events over a 12.3 s run at 3072
+// processes; §6.2 quotes 258 events/sec/process). Our simulator produces
+// events far faster in wall-clock terms, so the Fig. 15 extrapolation is
+// normalized to the paper's rate to make the absolute hours comparable.
+const PaperEventsPerSecPerProc = 258.0
+
+// Fig15 measures MCB's per-event record cost and extrapolates node-local
+// storage growth.
+func Fig15(cfg Config) (*Fig15Result, error) {
+	cfg.fill()
+	ranks := cfg.pick(24, 48)
+	run, err := captureMCB(&cfg, ranks, mcb.Params{
+		Particles: cfg.pick(150, 600),
+		TimeSteps: cfg.pick(2, 3),
+		Seed:      cfg.Seed + 15,
+	})
+	if err != nil {
+		return nil, err
+	}
+	quiet := Config{Seed: cfg.Seed}
+	quiet.fill() // discard the intermediate Fig. 13 table
+	f13, err := fig13FromRun(&quiet, run)
+	if err != nil {
+		return nil, err
+	}
+	return fig15FromMeasurements(&cfg, run, f13)
+}
+
+func fig15FromMeasurements(cfg *Config, run *MCBRun, f13 *Fig13Result) (*Fig15Result, error) {
+	res := &Fig15Result{
+		BytesPerEvent: map[string]float64{},
+		BudgetHours:   map[string]map[float64]float64{},
+	}
+	events := float64(run.MatchedEvents())
+	res.EventsPerSecPerProc = events / run.Elapsed.Seconds() / float64(run.Ranks)
+	for _, name := range []string{"gzip", "CDC"} {
+		if m := f13.Find(name); m != nil {
+			res.BytesPerEvent[name] = m.BytesPerEvent
+		}
+	}
+
+	intensities := []float64{1, 1.5, 2}
+	hours := []float64{0, 5, 10, 15, 20, 24}
+	cfg.printf("Figure 15: per-node record size estimate vs simulation time (%d procs/node)\n", ProcsPerNode)
+	cfg.printf("  measured bytes/event: gzip %.3f, CDC %.3f; measured event rate: %.0f ev/s/proc\n",
+		res.BytesPerEvent["gzip"], res.BytesPerEvent["CDC"], res.EventsPerSecPerProc)
+	cfg.printf("  Normalized to the paper's MCB event rate (%.0f ev/s/proc, from 9.7M events / 12.3 s / 3072 procs):\n",
+		PaperEventsPerSecPerProc)
+	for _, name := range []string{"gzip", "CDC"} {
+		res.BudgetHours[name] = map[float64]float64{}
+		for _, in := range intensities {
+			ratePerNodeMB := res.BytesPerEvent[name] * PaperEventsPerSecPerProc * in * ProcsPerNode / 1e6
+			for _, h := range hours {
+				mb := ratePerNodeMB * h * 3600
+				res.Points = append(res.Points, Fig15Point{Method: name, Intensity: in, Hours: h, MB: mb})
+			}
+			budget := 1e9
+			if ratePerNodeMB > 0 {
+				budget = Fig15Budget / (ratePerNodeMB * 3600)
+			}
+			res.BudgetHours[name][in] = budget
+			cfg.printf("  %-5s x%.1f: %8.1f MB/node after 24 h; 500 MB budget lasts %6.1f h\n",
+				name, in, ratePerNodeMB*24*3600, budget)
+		}
+	}
+	cfg.printf("  (paper: gzip exhausts 500 MB in ~5 h; CDC runs >24 h, ~1 GB at x2 intensity)\n")
+	return res, nil
+}

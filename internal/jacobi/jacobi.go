@@ -1,0 +1,200 @@
+// Package jacobi implements a Jacobi iterative Poisson solver with halo
+// exchange — the paper's hidden-determinism workload (§6.3, evaluated on
+// the Himeno benchmark [11]).
+//
+// The grid is decomposed into horizontal slabs, one per rank. Every
+// iteration each rank posts MPI_ANY_SOURCE receives for its halo rows,
+// sends its boundary rows to its neighbours, completes the receives with
+// Waitall, and relaxes its interior. The receive order is completely
+// deterministic — only one sender can match each (direction) tag — yet the
+// wildcard makes it *look* non-deterministic to a record-and-replay tool,
+// so every receive must be recorded (§6.3: no tool can detect hidden
+// determinism without observing the runtime behaviour). The regularity of
+// the resulting event stream is exactly what makes CDC's LP encoding
+// collapse it to almost nothing (Fig. 17).
+package jacobi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cdcreplay/internal/simmpi"
+)
+
+// Message tags by direction of travel.
+const (
+	// TagDown marks a boundary row traveling downward (received from the
+	// upper neighbour).
+	TagDown = 21
+	// TagUp marks a boundary row traveling upward (received from the
+	// lower neighbour).
+	TagUp = 22
+)
+
+// Params configure a solver run.
+type Params struct {
+	// Rows is the number of interior grid rows per rank. Default 16.
+	Rows int
+	// Cols is the number of grid columns. Default 32.
+	Cols int
+	// Iterations is the number of Jacobi sweeps. Default 100.
+	Iterations int
+	// CheckEvery controls how often the global residual is reduced.
+	// Default 25.
+	CheckEvery int
+}
+
+func (p *Params) fill() {
+	if p.Rows == 0 {
+		p.Rows = 16
+	}
+	if p.Cols == 0 {
+		p.Cols = 32
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 100
+	}
+	if p.CheckEvery == 0 {
+		p.CheckEvery = 25
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Residual is the final global residual.
+	Residual float64
+	// Checksum is a deterministic sum of this rank's slab, for replay
+	// equality checks.
+	Checksum float64
+	// HaloReceives counts the receives this rank completed.
+	HaloReceives uint64
+}
+
+func encodeRow(row []float64) []byte {
+	buf := make([]byte, 8*len(row))
+	for i, v := range row {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeRow(dst []float64, b []byte) error {
+	if len(b) != 8*len(dst) {
+		return fmt.Errorf("jacobi: halo row is %d bytes, want %d", len(b), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return nil
+}
+
+// Run executes the solver on one rank. All ranks must call Run with
+// identical Params.
+func Run(mpi simmpi.MPI, p Params) (Result, error) {
+	p.fill()
+	res := Result{}
+	rank, size := mpi.Rank(), mpi.Size()
+
+	// Slab with two halo rows (index 0 and Rows+1).
+	rows, cols := p.Rows, p.Cols
+	cur := make([][]float64, rows+2)
+	next := make([][]float64, rows+2)
+	for i := range cur {
+		cur[i] = make([]float64, cols)
+		next[i] = make([]float64, cols)
+	}
+	// Dirichlet condition: the global top edge is hot.
+	if rank == 0 {
+		for j := 0; j < cols; j++ {
+			cur[0][j] = 1.0
+			next[0][j] = 1.0
+		}
+	}
+
+	up, down := rank-1, rank+1
+	for iter := 0; iter < p.Iterations; iter++ {
+		// Post wildcard halo receives (hidden determinism: the sender is
+		// unique per tag, but the receive cannot express that).
+		var reqs []*simmpi.Request
+		recvRows := make([][]float64, 0, 2)
+		if up >= 0 {
+			req, err := mpi.Irecv(simmpi.AnySource, TagDown)
+			if err != nil {
+				return res, err
+			}
+			reqs = append(reqs, req)
+			recvRows = append(recvRows, cur[0])
+		}
+		if down < size {
+			req, err := mpi.Irecv(simmpi.AnySource, TagUp)
+			if err != nil {
+				return res, err
+			}
+			reqs = append(reqs, req)
+			recvRows = append(recvRows, cur[rows+1])
+		}
+		if up >= 0 {
+			if err := mpi.Send(up, TagUp, encodeRow(cur[1])); err != nil {
+				return res, err
+			}
+		}
+		if down < size {
+			if err := mpi.Send(down, TagDown, encodeRow(cur[rows])); err != nil {
+				return res, err
+			}
+		}
+		if len(reqs) > 0 {
+			sts, err := mpi.Waitall(reqs)
+			if err != nil {
+				return res, err
+			}
+			for i, st := range sts {
+				if err := decodeRow(recvRows[i], st.Data); err != nil {
+					return res, err
+				}
+				res.HaloReceives++
+			}
+		}
+
+		// Relax the interior.
+		var local float64
+		for i := 1; i <= rows; i++ {
+			for j := 0; j < cols; j++ {
+				l, r := j-1, j+1
+				var vl, vr float64
+				if l >= 0 {
+					vl = cur[i][l]
+				}
+				if r < cols {
+					vr = cur[i][r]
+				}
+				v := 0.25 * (cur[i-1][j] + cur[i+1][j] + vl + vr)
+				d := v - cur[i][j]
+				local += d * d
+				next[i][j] = v
+			}
+		}
+		cur, next = next, cur
+		// Re-pin the hot edge after the swap.
+		if rank == 0 {
+			for j := 0; j < cols; j++ {
+				cur[0][j] = 1.0
+			}
+		}
+
+		if (iter+1)%p.CheckEvery == 0 || iter+1 == p.Iterations {
+			r, err := mpi.Allreduce(local, simmpi.OpSum)
+			if err != nil {
+				return res, err
+			}
+			res.Residual = math.Sqrt(r)
+		}
+	}
+	for i := 1; i <= rows; i++ {
+		for j := 0; j < cols; j++ {
+			res.Checksum += cur[i][j] * float64(i*cols+j+1)
+		}
+	}
+	return res, nil
+}

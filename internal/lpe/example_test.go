@@ -1,0 +1,19 @@
+package lpe_test
+
+import (
+	"fmt"
+
+	"cdcreplay/internal/lpe"
+)
+
+// The paper's §3.4 example: a near-linear index column encodes to
+// residuals clustered at zero, which zigzag varints and gzip then shrink.
+func ExampleEncode() {
+	indices := []int64{1, 2, 4, 6, 8, 12, 17}
+	residuals := lpe.Encode(nil, indices)
+	fmt.Println(residuals)
+	fmt.Println(lpe.Decode(nil, residuals))
+	// Output:
+	// [1 0 1 0 0 2 1]
+	// [1 2 4 6 8 12 17]
+}

@@ -1,0 +1,124 @@
+package lpe
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The worked example from paper §3.4: {1,2,4,6,8,12,17} encodes to
+// {1,0,1,0,0,2,1}.
+func TestPaperExample(t *testing.T) {
+	xs := []int64{1, 2, 4, 6, 8, 12, 17}
+	want := []int64{1, 0, 1, 0, 0, 2, 1}
+	got := Encode(nil, xs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Encode(%v) = %v, want %v", xs, got, want)
+	}
+	back := Decode(nil, got)
+	if !reflect.DeepEqual(back, xs) {
+		t.Fatalf("Decode(Encode(x)) = %v, want %v", back, xs)
+	}
+}
+
+func TestFirstResidualEqualsFirstValue(t *testing.T) {
+	// e1 = x1 − x̂1 = x1 because x_{n≤0} = 0 (paper Eq. 2 discussion).
+	xs := []int64{42, 50}
+	es := Encode(nil, xs)
+	if es[0] != 42 {
+		t.Fatalf("e1 = %d, want 42", es[0])
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := Encode(nil, nil); len(got) != 0 {
+		t.Fatalf("Encode(nil) = %v", got)
+	}
+	if got := Encode(nil, []int64{7}); !reflect.DeepEqual(got, []int64{7}) {
+		t.Fatalf("Encode([7]) = %v", got)
+	}
+	if got := Decode(nil, []int64{7}); !reflect.DeepEqual(got, []int64{7}) {
+		t.Fatalf("Decode([7]) = %v", got)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(xs []int64) bool {
+		enc := Encode(nil, xs)
+		dec := Decode(nil, enc)
+		if len(xs) == 0 {
+			return len(dec) == 0
+		}
+		return reflect.DeepEqual(dec, xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearSequencesEncodeToNearZero(t *testing.T) {
+	// A perfectly linear index column must produce residuals that are zero
+	// beyond the warm-up terms — the property that makes gzip effective.
+	xs := make([]int64, 100)
+	for i := range xs {
+		xs[i] = int64(3 + 5*i)
+	}
+	es := Encode(nil, xs)
+	for i := 2; i < len(es); i++ {
+		if es[i] != 0 {
+			t.Fatalf("residual[%d] = %d, want 0", i, es[i])
+		}
+	}
+}
+
+func TestEncodeReusesDst(t *testing.T) {
+	xs := []int64{1, 2, 3}
+	dst := make([]int64, 8)
+	got := Encode(dst, xs)
+	if &got[0] != &dst[0] {
+		t.Fatal("Encode did not reuse provided buffer")
+	}
+}
+
+func TestDecodeReusesDst(t *testing.T) {
+	es := []int64{1, 0, 0}
+	dst := make([]int64, 8)
+	got := Decode(dst, es)
+	if &got[0] != &dst[0] {
+		t.Fatal("Decode did not reuse provided buffer")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int64, 4096)
+	v := int64(0)
+	for i := range xs {
+		v += rng.Int63n(5)
+		xs[i] = v
+	}
+	dst := make([]int64, len(xs))
+	b.SetBytes(int64(len(xs) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(dst, xs)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int64, 4096)
+	v := int64(0)
+	for i := range xs {
+		v += rng.Int63n(5)
+		xs[i] = v
+	}
+	es := Encode(nil, xs)
+	dst := make([]int64, len(es))
+	b.SetBytes(int64(len(es) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decode(dst, es)
+	}
+}

@@ -1,0 +1,400 @@
+// Package mcb implements a domain-decomposed Monte Carlo particle
+// transport benchmark modelled on MCB from the CORAL suite — the paper's
+// representative non-deterministic application (§2.1, [1], [3]).
+//
+// Ranks form a 1D ring of spatial domains, each owning a population of
+// particles. The communication pattern reproduces what §2.1 describes:
+//
+//   - at the start of a time step each rank posts a pool of non-blocking
+//     wildcard receives for incoming particles;
+//   - it processes local particles in batches, and after each batch polls
+//     the receive pool with Testsome (first-come, first-served);
+//   - a particle whose random walk crosses a domain boundary is sent to
+//     the neighbour immediately, and each received particle is appended to
+//     the local work list, with the receive re-posted at once;
+//   - the end of the time step is coordinated globally (quiescence by
+//     counting sent and received particles).
+//
+// Because receive order differs run to run, the order in which particles
+// are processed differs, and the double-precision tally accumulated in
+// processing order differs between runs (a + (b + c) ≠ (a + b) + c) —
+// the motivating symptom of §2.1. Under order-replay the tally is
+// reproduced bit for bit.
+//
+// The performance metric is tracks/sec: Monte Carlo segment computations
+// per second, the paper's Fig. 16 y-axis.
+package mcb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"cdcreplay/internal/simmpi"
+)
+
+// ParticleTag is the message tag for particle exchanges.
+const ParticleTag = 11
+
+// ControlTag is the message tag for the time-step coordination messages —
+// the second message type §2.1 describes ("a message to coordinate the
+// exit of the particle-processing loop at the end of the time step").
+// Control receives form a second MF callsite with a far more regular
+// pattern than particle traffic, which is what the paper's MF
+// identification (§4.4) exploits.
+const ControlTag = 12
+
+// Topology selects the domain decomposition.
+type Topology int
+
+const (
+	// Ring1D connects each rank to two neighbours (the default).
+	Ring1D Topology = iota
+	// Torus2D arranges ranks on a near-square periodic grid with four
+	// neighbours, the decomposition large particle-transport codes use.
+	Torus2D
+)
+
+// Params configure one MCB run.
+type Params struct {
+	// Particles is the initial particle count per rank (weak scaling
+	// keeps it constant; the paper uses 4000).
+	Particles int
+	// MeanSegments is the mean number of track segments a particle lives
+	// (geometric-ish lifetime). Default 20.
+	MeanSegments int
+	// BatchSize is the number of local particles processed between
+	// Testsome polls. Default 8.
+	BatchSize int
+	// CrossProb is the per-segment probability of crossing a domain
+	// boundary. Default 0.3.
+	CrossProb float64
+	// TimeSteps is the number of simulated time steps. Default 3.
+	TimeSteps int
+	// PoolSize is the number of outstanding wildcard receives. Default 8.
+	PoolSize int
+	// Seed seeds the per-rank physics RNG. Two runs with the same seed
+	// still diverge numerically because the RNG is consumed in particle
+	// *processing* order, which depends on receive order.
+	Seed int64
+	// TrackWork adds synthetic per-segment computation (iterations of a
+	// floating-point kernel) so recording overhead is measured against a
+	// realistic compute/communication ratio. Default 40.
+	TrackWork int
+	// Topology selects the domain decomposition (default Ring1D).
+	Topology Topology
+}
+
+// neighbors returns the distinct neighbour ranks of rank under the
+// decomposition.
+func (p *Params) neighbors(rank, n int) []int {
+	var cand []int
+	switch p.Topology {
+	case Torus2D:
+		// Near-square periodic grid: cols × rows ≥ n with the last row
+		// possibly short is hard to keep periodic, so use the largest
+		// divisor grid: rows = floor(sqrt(n)) reduced to a divisor.
+		rows := 1
+		for r := int(math.Sqrt(float64(n))); r >= 1; r-- {
+			if n%r == 0 {
+				rows = r
+				break
+			}
+		}
+		cols := n / rows
+		rr, cc := rank/cols, rank%cols
+		cand = []int{
+			((rr+rows-1)%rows)*cols + cc, // up
+			((rr+1)%rows)*cols + cc,      // down
+			rr*cols + (cc+cols-1)%cols,   // left
+			rr*cols + (cc+1)%cols,        // right
+		}
+	default:
+		cand = []int{(rank + n - 1) % n, (rank + 1) % n}
+	}
+	var out []int
+	seen := map[int]bool{rank: true} // no self-neighbours
+	for _, c := range cand {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (p *Params) fill() {
+	if p.Particles == 0 {
+		p.Particles = 100
+	}
+	if p.MeanSegments == 0 {
+		p.MeanSegments = 20
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = 8
+	}
+	if p.CrossProb == 0 {
+		p.CrossProb = 0.3
+	}
+	if p.TimeSteps == 0 {
+		p.TimeSteps = 3
+	}
+	if p.PoolSize == 0 {
+		p.PoolSize = 8
+	}
+	if p.TrackWork == 0 {
+		p.TrackWork = 40
+	}
+}
+
+// Result summarizes one rank's run.
+type Result struct {
+	// Tracks is the number of track segments this rank computed.
+	Tracks uint64
+	// Tally is the rank's order-sensitive local tally.
+	Tally float64
+	// GlobalTally is the Allreduce sum of tallies (order-sensitive per
+	// rank, deterministic reduction across ranks).
+	GlobalTally float64
+	// GlobalTracks is the Allreduce sum of track counts.
+	GlobalTracks float64
+	// Retired counts particles that finished their random walk on this
+	// rank.
+	Retired uint64
+	// Sent and Received count particle messages.
+	Sent, Received uint64
+	// Elapsed is this rank's wall-clock time.
+	Elapsed time.Duration
+}
+
+// TracksPerSec is the paper's Fig. 16 metric, computed from the global
+// track count and this rank's elapsed time.
+func (r Result) TracksPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return r.GlobalTracks / r.Elapsed.Seconds()
+}
+
+// particle is the unit of work exchanged between domains.
+type particle struct {
+	Energy   float64
+	Segments int32 // remaining track segments
+}
+
+const particleBytes = 12
+
+func encodeParticle(p particle) []byte {
+	buf := make([]byte, particleBytes)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(p.Energy))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(p.Segments))
+	return buf
+}
+
+func decodeParticle(b []byte) (particle, error) {
+	if len(b) != particleBytes {
+		return particle{}, fmt.Errorf("mcb: particle payload is %d bytes, want %d", len(b), particleBytes)
+	}
+	return particle{
+		Energy:   math.Float64frombits(binary.LittleEndian.Uint64(b)),
+		Segments: int32(binary.LittleEndian.Uint32(b[8:])),
+	}, nil
+}
+
+// Run executes the benchmark on one rank. All ranks of the world must call
+// Run with identical Params.
+func Run(mpi simmpi.MPI, p Params) (Result, error) {
+	p.fill()
+	start := time.Now()
+	res := Result{}
+	rng := rand.New(rand.NewSource(p.Seed + int64(mpi.Rank())*1_000_003))
+
+	n := mpi.Size()
+	nbrs := p.neighbors(mpi.Rank(), n)
+
+	// Local particle work list.
+	local := make([]particle, 0, p.Particles*2)
+	for i := 0; i < p.Particles; i++ {
+		local = append(local, particle{
+			Energy:   rng.Float64(),
+			Segments: int32(1 + rng.Intn(2*p.MeanSegments)),
+		})
+	}
+
+	// Receive pool: posted once, re-posted per completion, reused across
+	// time steps (matching MCB's persistent wildcard receives).
+	pool := make([]*simmpi.Request, p.PoolSize)
+	for i := range pool {
+		req, err := mpi.Irecv(simmpi.AnySource, ParticleTag)
+		if err != nil {
+			return res, err
+		}
+		pool[i] = req
+	}
+
+	sink := 0.0
+	track := func(pt *particle) (crossed bool, dst int) {
+		res.Tracks++
+		// Synthetic per-segment compute load.
+		x := pt.Energy + float64(res.Tracks)
+		for i := 0; i < p.TrackWork; i++ {
+			x = x*1.0000001 + 0.5
+		}
+		sink += x
+		pt.Segments--
+		pt.Energy *= 0.99
+		if len(nbrs) > 0 && rng.Float64() < p.CrossProb {
+			return true, nbrs[rng.Intn(len(nbrs))]
+		}
+		return false, 0
+	}
+
+	retire := func(pt particle) {
+		// Order-sensitive accumulation (§2.1): both the value added and
+		// the running product depend on processing order.
+		res.Retired++
+		res.Tally = res.Tally*1.0000000001 + pt.Energy
+	}
+
+	poll := func() error {
+		idxs, sts, err := mpi.Testsome(pool)
+		if err != nil {
+			return err
+		}
+		for k, i := range idxs {
+			pt, err := decodeParticle(sts[k].Data)
+			if err != nil {
+				return err
+			}
+			res.Received++
+			local = append(local, pt)
+			req, err := mpi.Irecv(simmpi.AnySource, ParticleTag)
+			if err != nil {
+				return err
+			}
+			pool[i] = req
+		}
+		return nil
+	}
+
+	// Control receive pool: one slot per neighbour, reused across steps.
+	ctrlPeers := len(nbrs)
+	ctrl := make([]*simmpi.Request, 0, ctrlPeers)
+	for i := 0; i < ctrlPeers; i++ {
+		req, err := mpi.Irecv(simmpi.AnySource, ControlTag)
+		if err != nil {
+			return res, err
+		}
+		ctrl = append(ctrl, req)
+	}
+
+	for step := 0; step < p.TimeSteps; step++ {
+		// Announce the step to the neighbours and wait for theirs — the
+		// exit/entry coordination messages of §2.1, polled from a second
+		// MF callsite.
+		if ctrlPeers > 0 {
+			for _, nb := range nbrs {
+				if err := mpi.Send(nb, ControlTag, []byte{byte(step)}); err != nil {
+					return res, err
+				}
+			}
+			got := 0
+			for got < ctrlPeers {
+				idxs, _, err := mpi.Testsome(ctrl)
+				if err != nil {
+					return res, err
+				}
+				for _, i := range idxs {
+					got++
+					req, err := mpi.Irecv(simmpi.AnySource, ControlTag)
+					if err != nil {
+						return res, err
+					}
+					ctrl[i] = req
+				}
+				if len(idxs) == 0 {
+					runtime.Gosched()
+				}
+			}
+		}
+
+		// Process until global quiescence: all particles of this step
+		// retired or parked, and all in-flight exchanges drained.
+		for {
+			// Drain local work in batches, polling between batches.
+			for len(local) > 0 {
+				batch := p.BatchSize
+				if batch > len(local) {
+					batch = len(local)
+				}
+				for b := 0; b < batch; b++ {
+					pt := local[len(local)-1]
+					local = local[:len(local)-1]
+					sentAway := false
+					for pt.Segments > 0 {
+						crossed, dst := track(&pt)
+						// A particle that exhausts its last segment while
+						// crossing retires here; only live particles
+						// travel.
+						if crossed && pt.Segments > 0 {
+							if err := mpi.Send(dst, ParticleTag, encodeParticle(pt)); err != nil {
+								return res, err
+							}
+							res.Sent++
+							sentAway = true
+							break
+						}
+					}
+					if !sentAway {
+						retire(pt)
+					}
+				}
+				if err := poll(); err != nil {
+					return res, err
+				}
+			}
+			// Local queue empty: agree globally whether exchanges are
+			// drained (quiescence by counting sent, received and queued
+			// work — a positive sum on any rank keeps everyone in the
+			// step).
+			if err := poll(); err != nil {
+				return res, err
+			}
+			pending, err := mpi.Allreduce(
+				float64(res.Sent)-float64(res.Received)+float64(len(local)), simmpi.OpSum)
+			if err != nil {
+				return res, err
+			}
+			if pending == 0 {
+				break
+			}
+		}
+		// Refill for the next time step (sources emit fresh particles).
+		if step+1 < p.TimeSteps {
+			for i := 0; i < p.Particles; i++ {
+				local = append(local, particle{
+					Energy:   rng.Float64(),
+					Segments: int32(1 + rng.Intn(2*p.MeanSegments)),
+				})
+			}
+		}
+	}
+	if sink == math.Inf(1) {
+		return res, fmt.Errorf("mcb: compute sink overflowed")
+	}
+
+	res.Elapsed = time.Since(start)
+	var err error
+	res.GlobalTally, err = mpi.Allreduce(res.Tally, simmpi.OpSum)
+	if err != nil {
+		return res, err
+	}
+	res.GlobalTracks, err = mpi.Allreduce(float64(res.Tracks), simmpi.OpSum)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}

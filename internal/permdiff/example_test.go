@@ -1,0 +1,21 @@
+package permdiff_test
+
+import (
+	"fmt"
+
+	"cdcreplay/internal/permdiff"
+)
+
+// The paper's Fig. 7/10 example: observed order {0,3,2,1,4,7,5,6} against
+// the reference order 0..7 needs exactly three permutation moves; the
+// reference order plus the moves reconstructs the observed order.
+func ExampleEncode() {
+	observed := []int{0, 3, 2, 1, 4, 7, 5, 6}
+	moves := permdiff.Encode(observed)
+	fmt.Println("moves:", len(moves))
+	decoded, _ := permdiff.Decode(len(observed), moves)
+	fmt.Println("decoded:", decoded)
+	// Output:
+	// moves: 3
+	// decoded: [0 3 2 1 4 7 5 6]
+}

@@ -1,0 +1,164 @@
+// Package permdiff computes and applies the permutation difference between
+// an observed message-receive order and the CDC reference logical-clock
+// order (paper §3.3 and §4.1).
+//
+// The input is the observed order expressed in reference coordinates:
+// obs[i] is the reference index (the position in the Lamport-clock total
+// order, Definition 6) of the i-th message the application actually
+// received. obs is therefore a permutation of 0..N−1, exactly the situation
+// the paper's edit distance algorithm exploits: substitutions cannot occur,
+// and every insertion pairs with a deletion of the same symbol, so the edit
+// script collapses into a set of "moves" of individual messages.
+//
+// The minimal number of moved messages is N − |LCS(observed, reference)|,
+// and because the reference is the sorted sequence 0..N−1, the LCS is the
+// longest increasing subsequence (LIS) of obs. Encode finds an LIS in
+// O(N log N) (patience sorting — this package's stand-in for the paper's
+// O(N+D) matrix walk, which yields the same minimal move count) and emits
+// one Move per message off the LIS.
+//
+// Decode is defined so that correctness is immediate: conceptually, delete
+// every moved message from the reference order, then re-insert each at its
+// absolute observed index in increasing index order. Since every message
+// observed before a moved message at index i is either on the LIS or an
+// earlier re-inserted move, position i is final when written, so the
+// reconstruction equals the observed order. (This differs from the paper's
+// delay bookkeeping only in how each row's delay integer is derived; row
+// count, table shape and compressibility are identical.)
+package permdiff
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Move records one permuted message. The message at reference index
+// ObservedIndex−Delay was observed at position ObservedIndex.
+type Move struct {
+	ObservedIndex int64
+	// Delay is observedIndex − referenceIndex: positive when the message
+	// arrived later than the reference order predicts, negative when it
+	// arrived earlier.
+	Delay int64
+}
+
+// Encode returns the minimal move set, sorted by ObservedIndex, that
+// transforms the reference order 0..len(obs)−1 into obs. obs must be a
+// permutation of 0..len(obs)−1; Encode panics otherwise (callers construct
+// obs by ranking, so a violation is a programming error).
+func Encode(obs []int) []Move {
+	keep := lisMask(obs)
+	var moves []Move
+	for i, r := range obs {
+		if !keep[i] {
+			moves = append(moves, Move{ObservedIndex: int64(i), Delay: int64(i - r)})
+		}
+	}
+	return moves
+}
+
+// PermutedCount reports how many messages are off the longest increasing
+// subsequence of obs — the paper's Np used for the Fig. 14 permutation
+// percentage — without materializing moves.
+func PermutedCount(obs []int) int {
+	keep := lisMask(obs)
+	n := 0
+	for _, k := range keep {
+		if !k {
+			n++
+		}
+	}
+	return n
+}
+
+// lisMask returns a boolean mask selecting one longest strictly increasing
+// subsequence of obs (patience sorting with predecessor links).
+func lisMask(obs []int) []bool {
+	n := len(obs)
+	mask := make([]bool, n)
+	if n == 0 {
+		return mask
+	}
+	// tails[k] = index into obs of the smallest tail of an increasing
+	// subsequence of length k+1.
+	tails := make([]int, 0, n)
+	prev := make([]int, n)
+	for i, v := range obs {
+		// Find the first pile whose tail value is >= v.
+		k := sort.Search(len(tails), func(k int) bool { return obs[tails[k]] >= v })
+		if k == 0 {
+			prev[i] = -1
+		} else {
+			prev[i] = tails[k-1]
+		}
+		if k == len(tails) {
+			tails = append(tails, i)
+		} else {
+			tails[k] = i
+		}
+	}
+	for i := tails[len(tails)-1]; i >= 0; i = prev[i] {
+		mask[i] = true
+	}
+	return mask
+}
+
+// Decode reconstructs the observed order (in reference coordinates) from a
+// move set produced by Encode for a sequence of length n. It validates the
+// moves thoroughly since they come from decoded record files.
+func Decode(n int, moves []Move) ([]int, error) {
+	out := make([]int, n)
+	movedRef := make([]bool, n) // reference indices that were moved
+	atObs := make(map[int64]int64, len(moves))
+	for _, m := range moves {
+		ref := m.ObservedIndex - m.Delay
+		if m.ObservedIndex < 0 || m.ObservedIndex >= int64(n) {
+			return nil, fmt.Errorf("permdiff: observed index %d out of range [0,%d)", m.ObservedIndex, n)
+		}
+		if ref < 0 || ref >= int64(n) {
+			return nil, fmt.Errorf("permdiff: reference index %d out of range [0,%d)", ref, n)
+		}
+		if movedRef[ref] {
+			return nil, fmt.Errorf("permdiff: reference index %d moved twice", ref)
+		}
+		if _, dup := atObs[m.ObservedIndex]; dup {
+			return nil, fmt.Errorf("permdiff: observed index %d assigned twice", m.ObservedIndex)
+		}
+		movedRef[ref] = true
+		atObs[m.ObservedIndex] = ref
+	}
+	// Unmoved reference indices fill the remaining observed positions in
+	// increasing reference order.
+	next := 0
+	for i := 0; i < n; i++ {
+		if ref, ok := atObs[int64(i)]; ok {
+			out[i] = int(ref)
+			continue
+		}
+		for next < n && movedRef[next] {
+			next++
+		}
+		if next == n {
+			return nil, fmt.Errorf("permdiff: ran out of unmoved messages at observed index %d", i)
+		}
+		out[i] = next
+		next++
+	}
+	return out, nil
+}
+
+// Rank converts an observed sequence of arbitrary ordered keys into
+// reference coordinates: result[i] is the rank of keys[i] under less.
+// It is the bridge between (clock, sender) pairs and permdiff input.
+func Rank(n int, less func(i, j int) bool) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return less(order[a], order[b]) })
+	ranks := make([]int, n)
+	for r, i := range order {
+		ranks[i] = r
+	}
+	return ranks
+}

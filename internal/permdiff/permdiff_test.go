@@ -1,0 +1,275 @@
+package permdiff
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The paper's running example (Figs. 7 and 10): observed order in reference
+// coordinates {0,3,2,1,4,7,5,6} has exactly 3 permuted messages (37.5%).
+func TestPaperExampleMoveCount(t *testing.T) {
+	obs := []int{0, 3, 2, 1, 4, 7, 5, 6}
+	moves := Encode(obs)
+	if len(moves) != 3 {
+		t.Fatalf("got %d moves, want 3 (paper Fig. 7)", len(moves))
+	}
+	got, err := Decode(len(obs), moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, obs) {
+		t.Fatalf("Decode = %v, want %v", got, obs)
+	}
+}
+
+func TestIdentityNeedsNoMoves(t *testing.T) {
+	obs := []int{0, 1, 2, 3, 4, 5}
+	if moves := Encode(obs); len(moves) != 0 {
+		t.Fatalf("identity produced %d moves: %v", len(moves), moves)
+	}
+	got, err := Decode(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, obs) {
+		t.Fatalf("Decode(6, nil) = %v", got)
+	}
+}
+
+func TestReversedOrder(t *testing.T) {
+	obs := []int{3, 2, 1, 0}
+	moves := Encode(obs)
+	if len(moves) != 3 { // LIS of a reversed sequence has length 1
+		t.Fatalf("got %d moves, want 3", len(moves))
+	}
+	got, err := Decode(4, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, obs) {
+		t.Fatalf("Decode = %v, want %v", got, obs)
+	}
+}
+
+func TestSingleDelayedMessageIsOneMove(t *testing.T) {
+	// Message 0 delayed past 5 others: the pattern CDC is optimized for.
+	obs := []int{1, 2, 3, 4, 5, 0}
+	moves := Encode(obs)
+	if len(moves) != 1 {
+		t.Fatalf("got %d moves, want 1: %v", len(moves), moves)
+	}
+	if moves[0].ObservedIndex != 5 || moves[0].Delay != 5 {
+		t.Fatalf("move = %+v, want {5, 5}", moves[0])
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if moves := Encode(nil); len(moves) != 0 {
+		t.Fatal("Encode(nil) produced moves")
+	}
+	if moves := Encode([]int{0}); len(moves) != 0 {
+		t.Fatal("Encode([0]) produced moves")
+	}
+	got, err := Decode(0, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Decode(0,nil) = %v, %v", got, err)
+	}
+}
+
+func randomPermutation(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}
+
+func TestRoundTripRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		obs := randomPermutation(rng, n)
+		moves := Encode(obs)
+		got, err := Decode(n, moves)
+		if err != nil {
+			t.Fatalf("n=%d obs=%v: %v", n, obs, err)
+		}
+		if !reflect.DeepEqual(got, obs) {
+			t.Fatalf("n=%d: Decode(Encode(obs)) = %v, want %v", n, got, obs)
+		}
+	}
+}
+
+// Near-sorted permutations (the MCB-like case) must yield move counts equal
+// to the number of displaced elements, not the full length.
+func TestNearSortedPermutationsFewMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 100
+		obs := make([]int, n)
+		for i := range obs {
+			obs[i] = i
+		}
+		// Perform k random adjacent-ish swaps.
+		k := rng.Intn(5)
+		for s := 0; s < k; s++ {
+			i := rng.Intn(n - 1)
+			obs[i], obs[i+1] = obs[i+1], obs[i]
+		}
+		moves := Encode(obs)
+		if len(moves) > k {
+			t.Fatalf("k=%d swaps produced %d moves", k, len(moves))
+		}
+		got, err := Decode(n, moves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, obs) {
+			t.Fatalf("round trip failed for %v", obs)
+		}
+	}
+}
+
+func TestMoveCountIsMinimal(t *testing.T) {
+	// Brute-force LIS on small permutations and compare.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(9)
+		obs := randomPermutation(rng, n)
+		want := n - bruteLIS(obs)
+		if got := len(Encode(obs)); got != want {
+			t.Fatalf("obs=%v: %d moves, minimal is %d", obs, got, want)
+		}
+		if got := PermutedCount(obs); got != want {
+			t.Fatalf("obs=%v: PermutedCount=%d, want %d", obs, got, want)
+		}
+	}
+}
+
+func bruteLIS(a []int) int {
+	best := 0
+	n := len(a)
+	for mask := 0; mask < 1<<n; mask++ {
+		last, count, ok := -1, 0, true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if a[i] <= last {
+				ok = false
+				break
+			}
+			last = a[i]
+			count++
+		}
+		if ok && count > best {
+			best = count
+		}
+	}
+	return best
+}
+
+func TestDecodeRejectsCorruptMoves(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		moves []Move
+	}{
+		{"obs index out of range", 3, []Move{{ObservedIndex: 3, Delay: 0}}},
+		{"negative obs index", 3, []Move{{ObservedIndex: -1, Delay: 0}}},
+		{"ref index out of range", 3, []Move{{ObservedIndex: 0, Delay: -5}}},
+		{"ref moved twice", 3, []Move{{ObservedIndex: 0, Delay: -1}, {ObservedIndex: 2, Delay: 1}}},
+		{"obs assigned twice", 3, []Move{{ObservedIndex: 0, Delay: -1}, {ObservedIndex: 0, Delay: -2}}},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.n, c.moves); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", c.name)
+		}
+	}
+}
+
+func TestDecodeAllMessagesMoved(t *testing.T) {
+	// Every message explicitly placed; nothing kept.
+	moves := []Move{
+		{ObservedIndex: 0, Delay: -2},
+		{ObservedIndex: 1, Delay: 0},
+		{ObservedIndex: 2, Delay: 2},
+	}
+	got, err := Decode(3, moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{2, 1, 0}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRank(t *testing.T) {
+	keys := []int{30, 10, 20}
+	ranks := Rank(len(keys), func(i, j int) bool { return keys[i] < keys[j] })
+	if !reflect.DeepEqual(ranks, []int{2, 0, 1}) {
+		t.Fatalf("Rank = %v", ranks)
+	}
+}
+
+func TestRankStableOnTies(t *testing.T) {
+	// Ties keep first-seen order, mirroring Definition 6's deterministic
+	// tie-break (callers encode the tie-break into less).
+	keys := []int{5, 5, 1}
+	ranks := Rank(len(keys), func(i, j int) bool { return keys[i] < keys[j] })
+	if !reflect.DeepEqual(ranks, []int{1, 2, 0}) {
+		t.Fatalf("Rank = %v", ranks)
+	}
+}
+
+func TestQuickRandomSequences(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size % 64)
+		obs := randomPermutation(rng, n)
+		got, err := Decode(n, Encode(obs))
+		return err == nil && reflect.DeepEqual(got, obs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeNearSorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4096
+	obs := make([]int, n)
+	for i := range obs {
+		obs[i] = i
+	}
+	for s := 0; s < n/20; s++ {
+		i := rng.Intn(n - 1)
+		obs[i], obs[i+1] = obs[i+1], obs[i]
+	}
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(obs)
+	}
+}
+
+func BenchmarkEncodeRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	obs := rng.Perm(4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(obs)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	obs := rng.Perm(4096)
+	moves := Encode(obs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(len(obs), moves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package record implements the record-mode tool layer (paper §4.2,
+// Fig. 11): the application's MF calls are intercepted, each observed
+// receive event is pushed onto an SPSC observe queue, and a dedicated CDC
+// goroutine (the paper's "CDC thread") drains the queue, encodes events and
+// writes the record — all off the application's critical path.
+//
+// The layer stacks above the lamport clock layer:
+//
+//	app → record.Recorder → lamport.Layer → simmpi.Comm
+//
+// Events are keyed by matching-function callsite (§4.4 MF identification)
+// unless disabled. Consecutive failed tests aggregate into one
+// unmatched-test row with a recurrence count, exactly as the paper's count
+// column does.
+package record
+
+import (
+	"errors"
+	"time"
+
+	"cdcreplay/internal/baseline"
+	"cdcreplay/internal/callsite"
+	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/spsc"
+	"cdcreplay/internal/tables"
+)
+
+// registrar is implemented by backends that want callsite names
+// (core.Encoder via baseline.CDCMethod).
+type registrar interface {
+	RegisterCallsite(id uint64, name string) error
+}
+
+// Options configure a Recorder.
+type Options struct {
+	// QueueCapacity bounds the observe queue (default 65536 events).
+	QueueCapacity int
+	// DisableMFID merges all callsites into one record stream,
+	// reproducing the paper's "CDC (RE+PE+LPE)" ablation.
+	DisableMFID bool
+	// FlushInterval, when positive, makes the CDC goroutine flush all
+	// pending chunks to storage at least this often while the queue is
+	// idle — the periodic memory-bound flush of §3.5. Zero disables
+	// time-based flushing (chunks still flush by event count).
+	FlushInterval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.QueueCapacity == 0 {
+		o.QueueCapacity = 65536
+	}
+}
+
+type queueItem struct {
+	callsite uint64
+	name     string // non-empty on first occurrence of the callsite
+	ev       tables.Event
+}
+
+// RateStats capture the §6.2 queue-throughput measurement.
+type RateStats struct {
+	// Enqueued is the number of rows the main thread produced.
+	Enqueued uint64
+	// EnqueueBlocked counts Enqueue calls that found the queue full at
+	// least once (expected to stay zero: the CDC thread drains faster).
+	EnqueueBlocked uint64
+	// DrainDuration is the CDC goroutine's busy time.
+	DrainDuration time.Duration
+}
+
+// Recorder is the record-mode layer for one rank.
+type Recorder struct {
+	next    simmpi.MPI
+	backend baseline.Method
+	opts    Options
+
+	q    *spsc.Queue[queueItem]
+	done chan error
+
+	// pendingUnmatched aggregates consecutive failed tests per callsite.
+	pendingUnmatched map[uint64]uint64
+	seenCallsite     map[uint64]bool
+
+	stats  RateStats
+	closed bool
+}
+
+var _ simmpi.MPI = (*Recorder)(nil)
+
+// New creates a Recorder for one rank writing through backend, and starts
+// its CDC goroutine. Close must be called to flush and stop it.
+func New(next simmpi.MPI, backend baseline.Method, opts Options) *Recorder {
+	opts.fill()
+	r := &Recorder{
+		next:             next,
+		backend:          backend,
+		opts:             opts,
+		q:                spsc.New[queueItem](opts.QueueCapacity),
+		done:             make(chan error, 1),
+		pendingUnmatched: make(map[uint64]uint64),
+		seenCallsite:     make(map[uint64]bool),
+	}
+	go r.cdcThread()
+	return r
+}
+
+// flusher is implemented by backends supporting periodic flushing.
+type flusher interface {
+	FlushAll() error
+}
+
+// cdcThread is the dedicated encoder goroutine (paper Fig. 11).
+func (r *Recorder) cdcThread() {
+	var busy time.Duration
+	var err error
+	fl, canFlush := r.backend.(flusher)
+	canFlush = canFlush && r.opts.FlushInterval > 0
+	lastFlush := time.Now()
+	for {
+		var item queueItem
+		if canFlush {
+			var ok, done bool
+			item, ok, done = r.q.DequeueTimeout(r.opts.FlushInterval)
+			if done {
+				break
+			}
+			if !ok || time.Since(lastFlush) >= r.opts.FlushInterval {
+				if err == nil {
+					start := time.Now()
+					err = fl.FlushAll()
+					busy += time.Since(start)
+				}
+				lastFlush = time.Now()
+				if !ok {
+					continue
+				}
+			}
+		} else {
+			var alive bool
+			item, alive = r.q.Dequeue()
+			if !alive {
+				break
+			}
+		}
+		start := time.Now()
+		if err == nil {
+			if item.name != "" {
+				if reg, ok := r.backend.(registrar); ok {
+					err = reg.RegisterCallsite(item.callsite, item.name)
+				}
+			}
+			if err == nil {
+				err = r.backend.Observe(item.callsite, item.ev)
+			}
+		}
+		busy += time.Since(start)
+	}
+	if cerr := r.backend.Close(); err == nil {
+		err = cerr
+	}
+	r.stats.DrainDuration = busy
+	r.done <- err
+}
+
+// Close flushes pending unmatched runs, stops the CDC goroutine and
+// finalizes the record. It must be called from the rank's own goroutine
+// after the application finishes.
+func (r *Recorder) Close() error {
+	if r.closed {
+		return errors.New("record: already closed")
+	}
+	r.closed = true
+	for cs, n := range r.pendingUnmatched {
+		if n > 0 {
+			r.enqueue(cs, "", tables.Unmatched(n))
+		}
+	}
+	r.q.Close()
+	return <-r.done
+}
+
+// Stats returns queue-rate statistics (valid after Close).
+func (r *Recorder) Stats() RateStats { return r.stats }
+
+// ObserveForBenchmark injects a pre-built event row directly into the
+// observe queue, bypassing the MPI layer. It exists for the §6.2
+// queue-rate benchmarks, which drive the SPSC queue and the CDC goroutine
+// at full speed without a live message stream.
+func (r *Recorder) ObserveForBenchmark(ev tables.Event) {
+	r.enqueue(0, "benchmark", ev)
+}
+
+func (r *Recorder) enqueue(cs uint64, name string, ev tables.Event) {
+	// Attach the callsite name to the first row actually enqueued for it.
+	if !r.seenCallsite[cs] {
+		r.seenCallsite[cs] = true
+	} else {
+		name = ""
+	}
+	if !r.q.TryEnqueue(queueItem{callsite: cs, name: name, ev: ev}) {
+		r.stats.EnqueueBlocked++
+		r.q.Enqueue(queueItem{callsite: cs, name: name, ev: ev})
+	}
+	r.stats.Enqueued++
+}
+
+// observe records an MF call outcome: sts holds the matched completions in
+// application-observed order (empty means an unmatched test). It must be
+// called directly by the exported MF wrapper so the callsite skip count
+// stays fixed; noinline keeps the frame chain intact.
+//
+//go:noinline
+func (r *Recorder) observe(matched bool, sts []simmpi.Status) {
+	cs, name := uint64(0), "merged"
+	if !r.opts.DisableMFID {
+		// Caller chain: app → Recorder method → observe → callsite.ID.
+		cs, name = callsite.ID(3)
+	}
+	if !matched {
+		r.pendingUnmatched[cs]++
+		return
+	}
+	if n := r.pendingUnmatched[cs]; n > 0 {
+		r.enqueue(cs, name, tables.Unmatched(n))
+		r.pendingUnmatched[cs] = 0
+	}
+	for i, st := range sts {
+		withNext := i+1 < len(sts)
+		r.enqueue(cs, name, tables.MatchedTagged(int32(st.Source), int32(st.Tag), st.Clock, withNext))
+	}
+}
+
+// Rank returns the wrapped endpoint's rank.
+func (r *Recorder) Rank() int { return r.next.Rank() }
+
+// Size returns the world size.
+func (r *Recorder) Size() int { return r.next.Size() }
+
+// Send passes through; sends are deterministic (Definition 7).
+func (r *Recorder) Send(dst, tag int, data []byte) error {
+	return r.next.Send(dst, tag, data)
+}
+
+// Irecv passes through; recording happens at match time.
+func (r *Recorder) Irecv(src, tag int) (*simmpi.Request, error) {
+	return r.next.Irecv(src, tag)
+}
+
+// Test records the matching status of a single test.
+func (r *Recorder) Test(req *simmpi.Request) (bool, simmpi.Status, error) {
+	ok, st, err := r.next.Test(req)
+	if err != nil {
+		return ok, st, err
+	}
+	if ok {
+		r.observe(true, []simmpi.Status{st})
+	} else {
+		r.observe(false, nil)
+	}
+	return ok, st, err
+}
+
+// Testany records like Test over a request set.
+func (r *Recorder) Testany(reqs []*simmpi.Request) (int, bool, simmpi.Status, error) {
+	i, ok, st, err := r.next.Testany(reqs)
+	if err != nil {
+		return i, ok, st, err
+	}
+	if ok {
+		r.observe(true, []simmpi.Status{st})
+	} else {
+		r.observe(false, nil)
+	}
+	return i, ok, st, err
+}
+
+// Testsome records the matched message set, chaining rows via with_next.
+func (r *Recorder) Testsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, error) {
+	idxs, sts, err := r.next.Testsome(reqs)
+	if err != nil {
+		return idxs, sts, err
+	}
+	r.observe(len(sts) > 0, sts)
+	return idxs, sts, err
+}
+
+// Testall records either one failed test or the full with_next-chained
+// matched set in request order.
+func (r *Recorder) Testall(reqs []*simmpi.Request) (bool, []simmpi.Status, error) {
+	ok, sts, err := r.next.Testall(reqs)
+	if err != nil {
+		return ok, sts, err
+	}
+	if ok && len(sts) > 0 {
+		r.observe(true, sts)
+	} else if !ok {
+		r.observe(false, nil)
+	}
+	return ok, sts, err
+}
+
+// Wait records a single matched event.
+func (r *Recorder) Wait(req *simmpi.Request) (simmpi.Status, error) {
+	st, err := r.next.Wait(req)
+	if err != nil {
+		return st, err
+	}
+	r.observe(true, []simmpi.Status{st})
+	return st, err
+}
+
+// Waitany records a single matched event.
+func (r *Recorder) Waitany(reqs []*simmpi.Request) (int, simmpi.Status, error) {
+	i, st, err := r.next.Waitany(reqs)
+	if err != nil {
+		return i, st, err
+	}
+	r.observe(true, []simmpi.Status{st})
+	return i, st, err
+}
+
+// Waitsome records the matched message set with with_next chaining.
+func (r *Recorder) Waitsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, error) {
+	idxs, sts, err := r.next.Waitsome(reqs)
+	if err != nil {
+		return idxs, sts, err
+	}
+	r.observe(true, sts)
+	return idxs, sts, err
+}
+
+// Waitall records every completion as one with_next-chained matched set, in
+// the order the layer below reports statuses (request order).
+func (r *Recorder) Waitall(reqs []*simmpi.Request) ([]simmpi.Status, error) {
+	sts, err := r.next.Waitall(reqs)
+	if err != nil {
+		return sts, err
+	}
+	if len(sts) > 0 {
+		r.observe(true, sts)
+	}
+	return sts, err
+}
+
+// Barrier passes through; collectives are deterministic.
+func (r *Recorder) Barrier() error { return r.next.Barrier() }
+
+// Allreduce passes through; collectives are deterministic.
+func (r *Recorder) Allreduce(v float64, op simmpi.ReduceOp) (float64, error) {
+	return r.next.Allreduce(v, op)
+}
+
+// Reduce passes through; collectives are deterministic.
+func (r *Recorder) Reduce(v float64, op simmpi.ReduceOp, root int) (float64, error) {
+	return r.next.Reduce(v, op, root)
+}
+
+// Bcast passes through; collectives are deterministic.
+func (r *Recorder) Bcast(data []byte, root int) ([]byte, error) {
+	return r.next.Bcast(data, root)
+}
+
+// Gather passes through; collectives are deterministic.
+func (r *Recorder) Gather(v float64, root int) ([]float64, error) {
+	return r.next.Gather(v, root)
+}
+
+// Allgather passes through; collectives are deterministic.
+func (r *Recorder) Allgather(v float64) ([]float64, error) {
+	return r.next.Allgather(v)
+}

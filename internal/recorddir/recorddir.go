@@ -1,0 +1,109 @@
+// Package recorddir manages on-disk record directories: one CDC record
+// file per rank plus a JSON manifest describing the run, so a replay can
+// check it is being pointed at a compatible record before starting (wrong
+// rank count or wrong application are caught up front instead of
+// manifesting as replay divergence).
+package recorddir
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cdcreplay/internal/core"
+)
+
+// ManifestName is the metadata file's name inside a record directory.
+const ManifestName = "manifest.json"
+
+// ManifestVersion guards against format drift.
+const ManifestVersion = 1
+
+// Manifest describes a recorded run.
+type Manifest struct {
+	// Version is the manifest format version.
+	Version int `json:"version"`
+	// Ranks is the world size of the recorded run.
+	Ranks int `json:"ranks"`
+	// App names the recorded application (free form; checked on replay).
+	App string `json:"app"`
+	// Params carries application parameters for the replayer's operator
+	// to cross-check (free form).
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// RankPath returns the record file path for a rank.
+func RankPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank%04d.cdc", rank))
+}
+
+// Create prepares dir (creating it if needed) and writes the manifest.
+// Existing rank files from a previous record are removed so a shorter
+// re-record cannot leave stale ranks behind.
+func Create(dir string, m Manifest) error {
+	if m.Ranks <= 0 {
+		return fmt.Errorf("recorddir: manifest needs a positive rank count, got %d", m.Ranks)
+	}
+	m.Version = ManifestVersion
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	old, err := filepath.Glob(filepath.Join(dir, "rank*.cdc"))
+	if err != nil {
+		return err
+	}
+	for _, f := range old {
+		if err := os.Remove(f); err != nil {
+			return err
+		}
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(buf, '\n'), 0o644)
+}
+
+// CreateRankFile opens the rank's record file for writing.
+func CreateRankFile(dir string, rank int) (*os.File, error) {
+	return os.Create(RankPath(dir, rank))
+}
+
+// Open reads and validates a record directory's manifest: version, rank
+// count, optional app name, and the presence of every rank file.
+func Open(dir string, wantApp string, wantRanks int) (Manifest, error) {
+	var m Manifest
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return m, fmt.Errorf("recorddir: %w (is %q a record directory?)", err, dir)
+	}
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return m, fmt.Errorf("recorddir: corrupt manifest: %w", err)
+	}
+	if m.Version != ManifestVersion {
+		return m, fmt.Errorf("recorddir: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if wantApp != "" && m.App != wantApp {
+		return m, fmt.Errorf("recorddir: record is of app %q, not %q", m.App, wantApp)
+	}
+	if wantRanks != 0 && m.Ranks != wantRanks {
+		return m, fmt.Errorf("recorddir: record has %d ranks, replay world has %d", m.Ranks, wantRanks)
+	}
+	for rank := 0; rank < m.Ranks; rank++ {
+		if _, err := os.Stat(RankPath(dir, rank)); err != nil {
+			return m, fmt.Errorf("recorddir: missing record for rank %d: %w", rank, err)
+		}
+	}
+	return m, nil
+}
+
+// LoadRank decodes one rank's record.
+func LoadRank(dir string, rank int) (*core.Record, error) {
+	f, err := os.Open(RankPath(dir, rank))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadRecord(f)
+}

@@ -1,0 +1,273 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cdcreplay/internal/simmpi"
+)
+
+// randomProgram generates a family of deterministic-given-results programs
+// exercising the full MF surface under randomized interleavings. Each rank
+// sends exactly msgs messages to every peer on each of two tags, and
+// consumes each tag's traffic through one seed-chosen MF family (a single
+// callsite per family body, honoring the disjoint-traffic rule). The
+// per-rank action schedule is driven by a seeded RNG, so the program is
+// identical between record and replay runs while differing wildly across
+// seeds.
+//
+// Deadlock freedom by construction: the main loop only uses non-blocking
+// MF variants, so every rank finishes all its sends regardless of arrival
+// timing; the drain phase may then block safely (all traffic is en route),
+// after shrinking each pool so no more receives are outstanding than
+// messages remain.
+func randomProgram(seed int64, msgs, pool int, nonBlockingOnly bool) app {
+	return func(mpi simmpi.MPI) ([]observation, error) {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(mpi.Rank())))
+		n := mpi.Size()
+		expectPerTag := (n - 1) * msgs
+
+		pools := map[int][]*simmpi.Request{1: nil, 2: nil}
+		for tag := 1; tag <= 2; tag++ {
+			for i := 0; i < pool; i++ {
+				req, err := mpi.Irecv(simmpi.AnySource, tag)
+				if err != nil {
+					return nil, err
+				}
+				pools[tag] = append(pools[tag], req)
+			}
+		}
+
+		type sendKey struct{ peer, tag int }
+		remaining := map[sendKey]int{}
+		var sendOrder []sendKey
+		for p := 0; p < n; p++ {
+			if p == mpi.Rank() {
+				continue
+			}
+			for tag := 1; tag <= 2; tag++ {
+				remaining[sendKey{p, tag}] = msgs
+				sendOrder = append(sendOrder, sendKey{p, tag})
+			}
+		}
+
+		// Family per tag: 0=Test, 1=Testany, 2=Testsome, 3=Testall,
+		// 4=Wait, 5=Waitany, 6=Waitsome, 7=Waitall.
+		families := map[int]int{1: rng.Intn(8), 2: rng.Intn(8)}
+		if nonBlockingOnly {
+			families[1] %= 4
+			families[2] %= 4
+		}
+
+		var obs []observation
+		received := map[int]int{1: 0, 2: 0}
+		seq := 0
+
+		note := func(tag int, st simmpi.Status) {
+			received[tag]++
+			obs = append(obs, observation{st.Source, st.Clock, fmt.Sprintf("t%d:%s", tag, st.Data)})
+		}
+
+		// completeSlots reposts or drops *completed* pool slots (dropping a
+		// consumed slot abandons nothing), highest index first so earlier
+		// indices stay valid. The invariant "outstanding receives never
+		// exceed messages still due" follows: a slot is only dropped when
+		// the remaining need is already below the pool size, so blocking
+		// drains at the end can never wait on a receive with no message.
+		completeSlots := func(tag int, idxs []int) error {
+			sorted := append([]int(nil), idxs...)
+			sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+			for _, i := range sorted {
+				need := expectPerTag - received[tag]
+				if need >= len(pools[tag]) {
+					req, err := mpi.Irecv(simmpi.AnySource, tag)
+					if err != nil {
+						return err
+					}
+					pools[tag][i] = req
+					continue
+				}
+				pools[tag] = append(pools[tag][:i], pools[tag][i+1:]...)
+			}
+			return nil
+		}
+
+		// consume performs one MF call of the given family on the tag's
+		// pool. Families 0–3 may find nothing; 4–7 block.
+		consume := func(tag, family int) error {
+			reqs := pools[tag]
+			if len(reqs) == 0 {
+				return nil
+			}
+			switch family {
+			case 0:
+				i := rng.Intn(len(reqs))
+				ok, st, err := mpi.Test(reqs[i])
+				if err != nil {
+					return err
+				}
+				if ok {
+					note(tag, st)
+					return completeSlots(tag, []int{i})
+				}
+			case 1:
+				i, ok, st, err := mpi.Testany(reqs)
+				if err != nil {
+					return err
+				}
+				if ok {
+					note(tag, st)
+					return completeSlots(tag, []int{i})
+				}
+			case 2:
+				idxs, sts, err := mpi.Testsome(reqs)
+				if err != nil {
+					return err
+				}
+				for _, st := range sts {
+					note(tag, st)
+				}
+				return completeSlots(tag, idxs)
+			case 3:
+				ok, sts, err := mpi.Testall(reqs)
+				if err != nil {
+					return err
+				}
+				if ok {
+					all := make([]int, len(reqs))
+					for i := range all {
+						all[i] = i
+					}
+					for _, st := range sts {
+						note(tag, st)
+					}
+					return completeSlots(tag, all)
+				}
+			case 4:
+				st, err := mpi.Wait(reqs[0])
+				if err != nil {
+					return err
+				}
+				note(tag, st)
+				return completeSlots(tag, []int{0})
+			case 5:
+				i, st, err := mpi.Waitany(reqs)
+				if err != nil {
+					return err
+				}
+				note(tag, st)
+				return completeSlots(tag, []int{i})
+			case 6:
+				idxs, sts, err := mpi.Waitsome(reqs)
+				if err != nil {
+					return err
+				}
+				for _, st := range sts {
+					note(tag, st)
+				}
+				return completeSlots(tag, idxs)
+			case 7:
+				sts, err := mpi.Waitall(reqs)
+				if err != nil {
+					return err
+				}
+				all := make([]int, len(reqs))
+				for i := range all {
+					all[i] = i
+				}
+				for _, st := range sts {
+					note(tag, st)
+				}
+				return completeSlots(tag, all)
+			}
+			return nil
+		}
+
+		// Main loop: interleave sends with non-blocking polls.
+		for len(sendOrder) > 0 {
+			i := rng.Intn(len(sendOrder))
+			k := sendOrder[i]
+			seq++
+			if err := mpi.Send(k.peer, k.tag, []byte(fmt.Sprintf("%d", seq))); err != nil {
+				return nil, err
+			}
+			remaining[k]--
+			if remaining[k] == 0 {
+				sendOrder = append(sendOrder[:i], sendOrder[i+1:]...)
+			}
+			for tag := 1; tag <= 2; tag++ {
+				// A tag's traffic must flow through ONE MF callsite
+				// (each family's call is a distinct source line), so a
+				// blocking-family tag is not polled here at all — its
+				// receives all happen in the drain below, which is the
+				// only place its family's callsite executes.
+				if families[tag] >= 4 || received[tag] >= expectPerTag {
+					continue
+				}
+				polls := 1 + rng.Intn(2)
+				for p := 0; p < polls && received[tag] < expectPerTag; p++ {
+					if err := consume(tag, families[tag]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+
+		// Drain phase: every rank's sends are complete (the main loop never
+		// blocks), so the tag's real family — blocking included — is safe,
+		// and completeSlots has kept outstanding ≤ need throughout.
+		for tag := 1; tag <= 2; tag++ {
+			for received[tag] < expectPerTag {
+				if err := consume(tag, families[tag]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return obs, nil
+	}
+}
+
+// TestFuzzRecordReplayEquivalence sweeps seeds over the random-program
+// family: every generated program must replay its exact observation
+// sequence on differently-timed networks.
+func TestFuzzRecordReplayEquivalence(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			recordThenReplay(t, 4, randomProgram(int64(seed), 6, 3, false))
+		})
+	}
+}
+
+// TestFuzzPaperFaithfulFormat validates the paper's exact record format
+// (no sender column) on the workload class the paper targets: MCB-style
+// wildcard Testsome polling and sequential gathers, at several shapes.
+// Arbitrary random programs interleaving multiple traffic classes need the
+// sender-column extension (see TestFuzzRecordReplayEquivalence and
+// DESIGN.md): the Axiom 1 release rule alone cannot drive every
+// transitively-blocking release chain from receiver-local knowledge.
+func TestFuzzPaperFaithfulFormat(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		app  app
+	}{
+		{"testsome-pool-small", 3, testsomePoolApp(6, 2)},
+		{"testsome-pool-wide", 5, testsomePoolApp(7, 4)},
+		{"gather-test", 4, gatherTestApp(9)},
+		{"gather-wait", 4, gatherWaitApp(8)},
+		{"waitany", 3, waitanyApp(5)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			recordThenReplayOpts(t, c.n, c.app, true)
+		})
+	}
+}

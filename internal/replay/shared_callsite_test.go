@@ -1,0 +1,77 @@
+package replay
+
+import (
+	"fmt"
+	"testing"
+
+	"cdcreplay/internal/simmpi"
+)
+
+// sharedCallsiteApp: two tag classes consumed through ONE Testsome line.
+func sharedCallsiteApp(msgs int) app {
+	return func(mpi simmpi.MPI) ([]observation, error) {
+		n := mpi.Size()
+		expect := (n - 1) * msgs
+		pools := map[int][]*simmpi.Request{1: nil, 2: nil}
+		for tag := 1; tag <= 2; tag++ {
+			for i := 0; i < 2; i++ {
+				req, err := mpi.Irecv(simmpi.AnySource, tag)
+				if err != nil {
+					return nil, err
+				}
+				pools[tag] = append(pools[tag], req)
+			}
+		}
+		received := map[int]int{1: 0, 2: 0}
+		var obs []observation
+		poll := func(tag int) error {
+			idxs, sts, err := mpi.Testsome(pools[tag]) // SHARED callsite
+			if err != nil {
+				return err
+			}
+			for k, i := range idxs {
+				received[tag]++
+				obs = append(obs, observation{sts[k].Source, sts[k].Clock, fmt.Sprintf("t%d:%s", tag, sts[k].Data)})
+				req, err := mpi.Irecv(simmpi.AnySource, tag)
+				if err != nil {
+					return err
+				}
+				pools[tag][i] = req
+			}
+			return nil
+		}
+		// Interleave sends and alternating-tag polls.
+		for m := 0; m < msgs; m++ {
+			for p := 0; p < n; p++ {
+				if p == mpi.Rank() {
+					continue
+				}
+				for tag := 1; tag <= 2; tag++ {
+					if err := mpi.Send(p, tag, []byte{byte(m)}); err != nil {
+						return nil, err
+					}
+					if err := poll(1); err != nil {
+						return nil, err
+					}
+					if err := poll(2); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		for received[1] < expect || received[2] < expect {
+			for tag := 1; tag <= 2; tag++ {
+				if received[tag] < expect {
+					if err := poll(tag); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return obs, nil
+	}
+}
+
+func TestSharedCallsiteTwoTags(t *testing.T) {
+	recordThenReplay(t, 3, sharedCallsiteApp(6))
+}

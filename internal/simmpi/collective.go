@@ -1,0 +1,149 @@
+package simmpi
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// collectives implements Barrier and Allreduce with a reusable
+// generation-counting barrier. The reduction folds contributions in rank
+// order, so the floating-point result is a deterministic function of the
+// contributed values — exactly why tool layers treat collectives as
+// deterministic events that need no recording (paper §6.3 discussion).
+// Summing in arrival order instead would reintroduce run-to-run numeric
+// variation through non-associativity.
+type collectives struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	vals    []float64
+	op      ReduceOp
+	result  float64
+	// payload carries Bcast data; gathered carries per-rank values for
+	// Gather/Allgather. Both are (re)built by the completing rank.
+	payload  []byte
+	gathered []float64
+}
+
+func newCollectives(n int) *collectives {
+	c := &collectives{n: n, vals: make([]float64, n)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collectives) barrier(deadline time.Duration) error {
+	_, err := c.sync(0, 0, OpSum, false, deadline)
+	return err
+}
+
+func (c *collectives) allreduce(rank int, v float64, op ReduceOp, deadline time.Duration) (float64, error) {
+	return c.sync(rank, v, op, true, deadline)
+}
+
+// bcast distributes root's data; implemented as a publish + barrier pair
+// so the payload cannot be overwritten by a subsequent collective before
+// every rank copied it.
+func (c *collectives) bcast(rank int, data []byte, root int, deadline time.Duration) ([]byte, error) {
+	if rank == root {
+		c.mu.Lock()
+		c.payload = append([]byte(nil), data...)
+		c.mu.Unlock()
+	}
+	if err := c.barrier(deadline); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	out := append([]byte(nil), c.payload...)
+	c.mu.Unlock()
+	if err := c.barrier(deadline); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// gather collects per-rank values; every rank receives the full slice and
+// the caller decides root visibility.
+func (c *collectives) gather(rank int, v float64, deadline time.Duration) ([]float64, error) {
+	c.mu.Lock()
+	if c.gathered == nil {
+		c.gathered = make([]float64, c.n)
+	}
+	c.gathered[rank] = v
+	c.mu.Unlock()
+	if err := c.barrier(deadline); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	out := append([]float64(nil), c.gathered...)
+	c.mu.Unlock()
+	if err := c.barrier(deadline); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *collectives) sync(rank int, v float64, op ReduceOp, reduce bool, deadline time.Duration) (float64, error) {
+	timeout := time.AfterFunc(deadline, func() {
+		// Wake sleepers so they can observe the timeout; the generation
+		// check below distinguishes a spurious wake from completion.
+		c.cond.Broadcast()
+	})
+	defer timeout.Stop()
+	start := time.Now()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	if c.arrived == 0 {
+		c.op = op
+	}
+	if reduce {
+		c.vals[rank] = v
+	}
+	c.arrived++
+	if c.arrived == c.n {
+		acc := identity(c.op)
+		if reduce {
+			for _, x := range c.vals {
+				acc = combine(c.op, acc, x)
+			}
+		}
+		c.result = acc
+		c.arrived = 0
+		c.gen++
+		c.cond.Broadcast()
+		return c.result, nil
+	}
+	for c.gen == gen {
+		if time.Since(start) > deadline {
+			return 0, ErrTimeout
+		}
+		c.cond.Wait()
+	}
+	return c.result, nil
+}
+
+func identity(op ReduceOp) float64 {
+	switch op {
+	case OpMax:
+		return math.Inf(-1)
+	case OpMin:
+		return math.Inf(1)
+	default:
+		return 0
+	}
+}
+
+func combine(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	default:
+		return a + b
+	}
+}

@@ -1,0 +1,92 @@
+package simmpi
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// envelope is a message in flight or awaiting matching.
+type envelope struct {
+	src, tag int
+	data     []byte
+	// arriveAt is the receiver poll tick at which the message becomes
+	// visible to matching. Per-sender monotonicity of arriveAt (enforced
+	// at deposit) preserves MPI's non-overtaking guarantee.
+	arriveAt uint64
+	// depositSeq breaks arrival ties deterministically-within-a-run.
+	depositSeq uint64
+}
+
+// mailbox is one rank's incoming-message buffer. Senders deposit under the
+// lock; the owning rank drains during its polls. Delivery jitter reorders
+// messages across senders (never within one sender), modelling network and
+// system noise (paper §1, [12]).
+type mailbox struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	maxJitter  int
+	tick       uint64
+	depositSeq uint64
+	inflight   []*envelope
+	// lastArrive tracks per-sender arrival frontiers to keep FIFO order.
+	lastArrive map[int]uint64
+}
+
+func newMailbox(seed int64, maxJitter int) *mailbox {
+	return &mailbox{
+		rng:        rand.New(rand.NewSource(seed)),
+		maxJitter:  maxJitter,
+		lastArrive: make(map[int]uint64),
+	}
+}
+
+// deposit is called from the sender's goroutine.
+func (m *mailbox) deposit(src, tag int, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	at := m.tick + uint64(m.rng.Intn(m.maxJitter+1)) + 1
+	if last := m.lastArrive[src]; at < last {
+		at = last // never overtake an earlier message from the same sender
+	}
+	m.lastArrive[src] = at
+	m.depositSeq++
+	m.inflight = append(m.inflight, &envelope{
+		src: src, tag: tag, data: data,
+		arriveAt: at, depositSeq: m.depositSeq,
+	})
+}
+
+// drain advances the receiver's poll tick and returns every message whose
+// arrival time has passed, in arrival order. Called only by the owner rank.
+func (m *mailbox) drain() []*envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tick++
+	if len(m.inflight) == 0 {
+		return nil
+	}
+	var ready, rest []*envelope
+	for _, e := range m.inflight {
+		if e.arriveAt <= m.tick {
+			ready = append(ready, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	m.inflight = rest
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].arriveAt != ready[j].arriveAt {
+			return ready[i].arriveAt < ready[j].arriveAt
+		}
+		return ready[i].depositSeq < ready[j].depositSeq
+	})
+	return ready
+}
+
+// pending reports whether undelivered messages remain (for diagnostics).
+func (m *mailbox) pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}

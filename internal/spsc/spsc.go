@@ -1,0 +1,156 @@
+// Package spsc provides the bounded single-producer single-consumer queue
+// that connects an application's main thread to the CDC thread (paper §4.2).
+//
+// Because exactly one goroutine enqueues (the MPI/main thread) and exactly
+// one dequeues (the CDC encoder thread), the ring buffer needs no mutual
+// exclusion: the producer owns the tail index, the consumer owns the head
+// index, and each observes the other's index with an atomic load. This
+// mirrors the paper's observe-queue and replay-queue design.
+//
+// The queue is bounded: Enqueue blocks (spinning, then yielding) when the
+// ring is full, which is the backpressure behaviour §6.2 describes — in
+// practice the CDC thread drains far faster than the application produces,
+// so the block is never expected to occur.
+package spsc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Queue is a bounded SPSC ring buffer. The zero value is not usable; call
+// New.
+type Queue[T any] struct {
+	buf  []T
+	mask uint64
+
+	// head and tail are kept on separate cache lines to avoid false
+	// sharing between the producer and consumer cores.
+	head   atomic.Uint64 // next slot the consumer will read
+	_      [7]uint64
+	tail   atomic.Uint64 // next slot the producer will write
+	_      [7]uint64
+	closed atomic.Bool
+}
+
+// New returns a queue with capacity rounded up to the next power of two
+// (minimum 2).
+func New[T any](capacity int) *Queue[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &Queue[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap reports the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len reports the number of buffered items. It is approximate when both
+// ends are active concurrently but exact for either endpoint's own view.
+func (q *Queue[T]) Len() int {
+	return int(q.tail.Load() - q.head.Load())
+}
+
+// TryEnqueue adds v if space is available, reporting whether it did.
+// It must only be called by the single producer.
+func (q *Queue[T]) TryEnqueue(v T) bool {
+	t := q.tail.Load()
+	if t-q.head.Load() == uint64(len(q.buf)) {
+		return false
+	}
+	q.buf[t&q.mask] = v
+	q.tail.Store(t + 1)
+	return true
+}
+
+// Enqueue adds v, blocking while the queue is full. It must only be called
+// by the single producer. Enqueue panics if the queue has been closed:
+// closing is the producer's own signal that no more items will arrive.
+func (q *Queue[T]) Enqueue(v T) {
+	if q.closed.Load() {
+		panic("spsc: Enqueue after Close")
+	}
+	spins := 0
+	for !q.TryEnqueue(v) {
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryDequeue removes the next item if one is buffered. It must only be
+// called by the single consumer.
+func (q *Queue[T]) TryDequeue() (T, bool) {
+	var zero T
+	h := q.head.Load()
+	if h == q.tail.Load() {
+		return zero, false
+	}
+	v := q.buf[h&q.mask]
+	q.buf[h&q.mask] = zero // release references for GC
+	q.head.Store(h + 1)
+	return v, true
+}
+
+// Dequeue removes the next item, blocking until one is available or the
+// queue is closed and drained. The second result is false only when the
+// queue is closed and empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	spins := 0
+	for {
+		if v, ok := q.TryDequeue(); ok {
+			return v, true
+		}
+		if q.closed.Load() {
+			// Re-check after observing closed: the producer may have
+			// enqueued between our TryDequeue and its Close.
+			if v, ok := q.TryDequeue(); ok {
+				return v, true
+			}
+			var zero T
+			return zero, false
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// DequeueTimeout is Dequeue with a deadline. ok reports whether an item
+// was returned; done reports that the queue is closed and fully drained.
+// ok=false with done=false means the deadline passed — the consumer can do
+// periodic housekeeping (e.g. the recorder's timed chunk flush) and try
+// again.
+func (q *Queue[T]) DequeueTimeout(d time.Duration) (v T, ok bool, done bool) {
+	deadline := time.Now().Add(d)
+	spins := 0
+	for {
+		if v, ok := q.TryDequeue(); ok {
+			return v, true, false
+		}
+		if q.closed.Load() {
+			if v, ok := q.TryDequeue(); ok {
+				return v, true, false
+			}
+			var zero T
+			return zero, false, true
+		}
+		spins++
+		if spins > 64 {
+			runtime.Gosched()
+		}
+		if spins%1024 == 0 && time.Now().After(deadline) {
+			var zero T
+			return zero, false, false
+		}
+	}
+}
+
+// Close marks the queue as finished. Only the producer may call Close, and
+// only after its final Enqueue. The consumer drains remaining items and
+// then receives ok=false from Dequeue.
+func (q *Queue[T]) Close() { q.closed.Store(true) }

@@ -1,0 +1,175 @@
+package tables
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// paperFig4 is the literal 11-row record table of paper Fig. 4.
+func paperFig4() []Event {
+	return []Event{
+		Matched(0, 2, false),
+		Unmatched(2),
+		Matched(0, 13, true),
+		Matched(2, 8, false),
+		Matched(1, 8, false),
+		Matched(0, 15, false),
+		Matched(1, 19, false),
+		Unmatched(3),
+		Matched(0, 17, false),
+		Unmatched(1),
+		Matched(0, 18, false),
+	}
+}
+
+func TestPaperFig4ValueCount(t *testing.T) {
+	if got := ValueCount(paperFig4()); got != 55 {
+		t.Fatalf("original value count = %d, want 55 (paper §3.1)", got)
+	}
+}
+
+func TestPaperFig6Elimination(t *testing.T) {
+	red := Eliminate(paperFig4())
+
+	wantMatched := []MatchedEntry{
+		{Rank: 0, Clock: 2}, {Rank: 0, Clock: 13}, {Rank: 2, Clock: 8},
+		{Rank: 1, Clock: 8}, {Rank: 0, Clock: 15}, {Rank: 1, Clock: 19},
+		{Rank: 0, Clock: 17}, {Rank: 0, Clock: 18},
+	}
+	if !reflect.DeepEqual(red.Matched, wantMatched) {
+		t.Errorf("matched table = %v\nwant %v", red.Matched, wantMatched)
+	}
+	if !reflect.DeepEqual(red.WithNext, []int64{1}) {
+		t.Errorf("with_next table = %v, want [1]", red.WithNext)
+	}
+	wantUnmatched := []UnmatchedRun{{1, 2}, {6, 3}, {7, 1}}
+	if !reflect.DeepEqual(red.Unmatched, wantUnmatched) {
+		t.Errorf("unmatched table = %v\nwant %v", red.Unmatched, wantUnmatched)
+	}
+	// Paper Fig. 6: 23 values after redundancy elimination.
+	if got := red.ValueCount(); got != 23 {
+		t.Errorf("reduced value count = %d, want 23", got)
+	}
+}
+
+func TestRestoreInvertsEliminate(t *testing.T) {
+	events := paperFig4()
+	red := Eliminate(events)
+	if got := red.Restore(); !reflect.DeepEqual(got, events) {
+		t.Fatalf("Restore = %v\nwant %v", got, events)
+	}
+}
+
+func TestEliminateMergesAdjacentUnmatchedRows(t *testing.T) {
+	events := []Event{Unmatched(1), Unmatched(2), Matched(0, 5, false)}
+	red := Eliminate(events)
+	want := []UnmatchedRun{{0, 3}}
+	if !reflect.DeepEqual(red.Unmatched, want) {
+		t.Fatalf("unmatched = %v, want %v", red.Unmatched, want)
+	}
+	// Restore aggregates them into one row.
+	wantEvents := []Event{Unmatched(3), Matched(0, 5, false)}
+	if got := red.Restore(); !reflect.DeepEqual(got, wantEvents) {
+		t.Fatalf("Restore = %v, want %v", got, wantEvents)
+	}
+}
+
+func TestTrailingUnmatchedRun(t *testing.T) {
+	events := []Event{Matched(1, 7, false), Unmatched(4)}
+	red := Eliminate(events)
+	want := []UnmatchedRun{{1, 4}} // index == matched count marks a trailing run
+	if !reflect.DeepEqual(red.Unmatched, want) {
+		t.Fatalf("unmatched = %v, want %v", red.Unmatched, want)
+	}
+	if got := red.Restore(); !reflect.DeepEqual(got, events) {
+		t.Fatalf("Restore = %v, want %v", got, events)
+	}
+}
+
+func TestOnlyUnmatched(t *testing.T) {
+	events := []Event{Unmatched(5)}
+	red := Eliminate(events)
+	if len(red.Matched) != 0 || len(red.WithNext) != 0 {
+		t.Fatalf("unexpected tables: %+v", red)
+	}
+	if got := red.Restore(); !reflect.DeepEqual(got, events) {
+		t.Fatalf("Restore = %v, want %v", got, events)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	red := Eliminate(nil)
+	if red.ValueCount() != 0 {
+		t.Fatalf("empty value count = %d", red.ValueCount())
+	}
+	if got := red.Restore(); len(got) != 0 {
+		t.Fatalf("Restore(empty) = %v", got)
+	}
+}
+
+// Deterministic pure-Waitall traffic: no unmatched rows at all, so the
+// unmatched table vanishes, as §3.2 promises for apps without Test calls.
+func TestNoTestFamilyMeansEmptyUnmatchedTable(t *testing.T) {
+	events := []Event{
+		Matched(0, 1, true), Matched(1, 2, true), Matched(2, 3, false),
+	}
+	red := Eliminate(events)
+	if len(red.Unmatched) != 0 {
+		t.Fatalf("unmatched table should be empty: %v", red.Unmatched)
+	}
+	if !reflect.DeepEqual(red.WithNext, []int64{0, 1}) {
+		t.Fatalf("with_next = %v", red.WithNext)
+	}
+}
+
+// Single-message MF calls only: the with_next table vanishes (§3.2).
+func TestNoMultiCompletionMeansEmptyWithNextTable(t *testing.T) {
+	events := []Event{Matched(0, 1, false), Matched(1, 2, false)}
+	red := Eliminate(events)
+	if len(red.WithNext) != 0 {
+		t.Fatalf("with_next table should be empty: %v", red.WithNext)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		var events []Event
+		n := rng.Intn(50)
+		lastUnmatched := false
+		for i := 0; i < n; i++ {
+			if !lastUnmatched && rng.Intn(3) == 0 {
+				events = append(events, Unmatched(uint64(1+rng.Intn(5))))
+				lastUnmatched = true
+				continue
+			}
+			lastUnmatched = false
+			events = append(events, Matched(int32(rng.Intn(8)), uint64(rng.Intn(100)), rng.Intn(4) == 0))
+		}
+		red := Eliminate(events)
+		got := red.Restore()
+		if len(events) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, events) {
+			t.Fatalf("trial %d: Restore mismatch\n got %v\nwant %v", trial, got, events)
+		}
+	}
+}
+
+func TestLessDefinition6(t *testing.T) {
+	// Order by clock, ties by sender rank.
+	if !Less(MatchedEntry{Rank: 5, Clock: 1}, MatchedEntry{Rank: 0, Clock: 2}) {
+		t.Error("clock ordering violated")
+	}
+	if !Less(MatchedEntry{Rank: 1, Clock: 8}, MatchedEntry{Rank: 2, Clock: 8}) {
+		t.Error("rank tie-break violated")
+	}
+	if Less(MatchedEntry{Rank: 2, Clock: 8}, MatchedEntry{Rank: 1, Clock: 8}) {
+		t.Error("rank tie-break not antisymmetric")
+	}
+	if Less(MatchedEntry{Rank: 1, Clock: 8}, MatchedEntry{Rank: 1, Clock: 8}) {
+		t.Error("Less not irreflexive")
+	}
+}

@@ -1,0 +1,171 @@
+// Package taskfarm implements a master/worker task farm — after particle
+// exchange, the most common source of MPI_ANY_SOURCE non-determinism in
+// production codes (the paper's §2 motivates exactly this class). The
+// master hands out work units; each worker computes and returns a result;
+// the master assigns the next unit to whichever worker answered first, so
+// the task→worker assignment — and any order-sensitive reduction of the
+// results — differs run to run. Under order-replay the full assignment
+// sequence is reproduced exactly.
+package taskfarm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cdcreplay/internal/simmpi"
+)
+
+// Message tags.
+const (
+	// TagTask carries a work unit (master → worker).
+	TagTask = 41
+	// TagResult carries a result (worker → master).
+	TagResult = 42
+	// TagStop tells a worker to exit.
+	TagStop = 43
+)
+
+// Params configure a run.
+type Params struct {
+	// Tasks is the number of work units. Default 64.
+	Tasks int
+	// Work scales the per-task computation. Default 200.
+	Work int
+}
+
+func (p *Params) fill() {
+	if p.Tasks == 0 {
+		p.Tasks = 64
+	}
+	if p.Work == 0 {
+		p.Work = 200
+	}
+}
+
+// Result summarizes the run on the master (rank 0); workers get zero
+// values plus their own TasksDone count.
+type Result struct {
+	// Reduction is the master's order-sensitive combination of results,
+	// folded in arrival order: the §2.1 symptom.
+	Reduction float64
+	// Assignment[i] is the worker that computed task i (master only).
+	Assignment []int
+	// TasksDone counts tasks this rank computed (workers).
+	TasksDone int
+}
+
+// compute is the deterministic per-task kernel.
+func compute(task int, work int) float64 {
+	x := float64(task) + 1
+	for i := 0; i < work; i++ {
+		x = math.Sqrt(x*x+1) * 1.0000001
+	}
+	return x
+}
+
+func encodeU32(v uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, v)
+	return buf
+}
+
+func encodeResult(task uint32, value float64) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, task)
+	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(value))
+	return buf
+}
+
+// Run executes the farm. Rank 0 is the master; it requires at least two
+// ranks.
+func Run(mpi simmpi.MPI, p Params) (Result, error) {
+	p.fill()
+	if mpi.Size() < 2 {
+		return Result{}, fmt.Errorf("taskfarm: needs at least 2 ranks, have %d", mpi.Size())
+	}
+	if mpi.Rank() == 0 {
+		return master(mpi, p)
+	}
+	return worker(mpi, p)
+}
+
+func master(mpi simmpi.MPI, p Params) (Result, error) {
+	res := Result{Assignment: make([]int, p.Tasks)}
+	workers := mpi.Size() - 1
+	next := 0
+
+	// Seed every worker with one task (or stop it immediately if there is
+	// less work than workers).
+	for w := 1; w <= workers; w++ {
+		if next < p.Tasks {
+			if err := mpi.Send(w, TagTask, encodeU32(uint32(next))); err != nil {
+				return res, err
+			}
+			next++
+		} else {
+			if err := mpi.Send(w, TagStop, nil); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Collect results in arrival order; hand the next task to the worker
+	// that just answered.
+	req, err := mpi.Irecv(simmpi.AnySource, TagResult)
+	if err != nil {
+		return res, err
+	}
+	for done := 0; done < p.Tasks; done++ {
+		st, err := mpi.Wait(req)
+		if err != nil {
+			return res, err
+		}
+		if done+1 < p.Tasks || next < p.Tasks {
+			if req, err = mpi.Irecv(simmpi.AnySource, TagResult); err != nil {
+				return res, err
+			}
+		}
+		task := binary.LittleEndian.Uint32(st.Data)
+		value := math.Float64frombits(binary.LittleEndian.Uint64(st.Data[4:]))
+		res.Assignment[task] = st.Source
+		// Order-sensitive fold (non-associative, like §2.1's tallies).
+		res.Reduction = res.Reduction*1.0000000001 + value
+		if next < p.Tasks {
+			if err := mpi.Send(st.Source, TagTask, encodeU32(uint32(next))); err != nil {
+				return res, err
+			}
+			next++
+		} else {
+			if err := mpi.Send(st.Source, TagStop, nil); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+func worker(mpi simmpi.MPI, p Params) (Result, error) {
+	res := Result{}
+	for {
+		// One wildcard-tag receive: task or stop, whichever the master
+		// sent (FIFO per sender keeps them ordered).
+		req, err := mpi.Irecv(0, simmpi.AnyTag)
+		if err != nil {
+			return res, err
+		}
+		st, err := mpi.Wait(req)
+		if err != nil {
+			return res, err
+		}
+		if st.Tag == TagStop {
+			return res, nil
+		}
+		task := binary.LittleEndian.Uint32(st.Data)
+		value := compute(int(task), p.Work)
+		if err := mpi.Send(0, TagResult, encodeResult(task, value)); err != nil {
+			return res, err
+		}
+		res.TasksDone++
+	}
+}

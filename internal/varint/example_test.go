@@ -1,0 +1,22 @@
+package varint_test
+
+import (
+	"fmt"
+	"strings"
+
+	"cdcreplay/internal/varint"
+)
+
+// Zigzag mapping keeps small-magnitude deltas — the common case after LP
+// encoding — in a single byte.
+func ExampleZigzag() {
+	var parts []string
+	for _, v := range []int64{0, -1, 1, -2, 2} {
+		parts = append(parts, fmt.Sprintf("%d→%d", v, varint.Zigzag(v)))
+	}
+	fmt.Println(strings.Join(parts, " "))
+	fmt.Println("bytes for -3:", len(varint.AppendInt(nil, -3)))
+	// Output:
+	// 0→0 -1→1 1→2 -2→3 2→4
+	// bytes for -3: 1
+}

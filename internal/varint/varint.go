@@ -1,0 +1,139 @@
+// Package varint provides compact variable-length integer encoding used by
+// the CDC record format.
+//
+// All multi-byte quantities in CDC chunks are serialized as LEB128-style
+// unsigned varints (as in encoding/binary); signed quantities are first
+// zigzag-mapped so that values near zero — the common case after linear
+// predictive encoding — occupy a single byte.
+package varint
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrOverflow is returned when a varint does not terminate within the
+// 10 bytes needed to represent a 64-bit value.
+var ErrOverflow = errors.New("varint: 64-bit overflow")
+
+// Zigzag maps a signed integer to an unsigned one such that small-magnitude
+// values (positive or negative) map to small unsigned values:
+// 0→0, −1→1, 1→2, −2→3, ...
+func Zigzag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// AppendUint appends the unsigned varint encoding of u to dst.
+func AppendUint(dst []byte, u uint64) []byte {
+	for u >= 0x80 {
+		dst = append(dst, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(dst, byte(u))
+}
+
+// AppendInt appends the zigzag varint encoding of v to dst.
+func AppendInt(dst []byte, v int64) []byte {
+	return AppendUint(dst, Zigzag(v))
+}
+
+// Uint decodes an unsigned varint from b, returning the value and the number
+// of bytes consumed.
+func Uint(b []byte) (uint64, int, error) {
+	var u uint64
+	var shift uint
+	for i, c := range b {
+		if i == 10 {
+			return 0, 0, ErrOverflow
+		}
+		u |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return u, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, io.ErrUnexpectedEOF
+}
+
+// Int decodes a zigzag varint from b.
+func Int(b []byte) (int64, int, error) {
+	u, n, err := Uint(b)
+	return Unzigzag(u), n, err
+}
+
+// Reader consumes varints from a byte slice, tracking its offset.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Uint reads the next unsigned varint.
+func (r *Reader) Uint() (uint64, error) {
+	u, n, err := Uint(r.buf[r.off:])
+	if err != nil {
+		return 0, err
+	}
+	r.off += n
+	return u, nil
+}
+
+// Int reads the next zigzag varint.
+func (r *Reader) Int() (int64, error) {
+	v, n, err := Int(r.buf[r.off:])
+	if err != nil {
+		return 0, err
+	}
+	r.off += n
+	return v, nil
+}
+
+// Bytes reads a length-prefixed byte slice (shares backing storage).
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.Uint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// Len reports the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) - r.off }
+
+// Offset reports the number of consumed bytes.
+func (r *Reader) Offset() int { return r.off }
+
+// Writer accumulates varints into a buffer.
+type Writer struct {
+	buf []byte
+}
+
+// Uint appends an unsigned varint.
+func (w *Writer) Uint(u uint64) { w.buf = AppendUint(w.buf, u) }
+
+// Int appends a zigzag varint.
+func (w *Writer) Int(v int64) { w.buf = AppendInt(w.buf, v) }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.Uint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Result returns the accumulated buffer.
+func (w *Writer) Result() []byte { return w.buf }
+
+// Len reports the accumulated size in bytes.
+func (w *Writer) Len() int { return len(w.buf) }

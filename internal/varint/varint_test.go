@@ -1,0 +1,139 @@
+package varint
+
+import (
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagKnownValues(t *testing.T) {
+	cases := []struct {
+		v int64
+		u uint64
+	}{
+		{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4},
+		{math.MaxInt64, math.MaxUint64 - 1},
+		{math.MinInt64, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := Zigzag(c.v); got != c.u {
+			t.Errorf("Zigzag(%d) = %d, want %d", c.v, got, c.u)
+		}
+		if got := Unzigzag(c.u); got != c.v {
+			t.Errorf("Unzigzag(%d) = %d, want %d", c.u, got, c.v)
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return Unzigzag(Zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f := func(u uint64) bool {
+		b := AppendUint(nil, u)
+		got, n, err := Uint(b)
+		return err == nil && n == len(b) && got == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		b := AppendInt(nil, v)
+		got, n, err := Int(b)
+		return err == nil && n == len(b) && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallValuesAreOneByte(t *testing.T) {
+	for v := int64(-64); v < 64; v++ {
+		if n := len(AppendInt(nil, v)); n != 1 {
+			t.Errorf("AppendInt(%d) used %d bytes, want 1", v, n)
+		}
+	}
+}
+
+func TestUintTruncated(t *testing.T) {
+	b := AppendUint(nil, 1<<40)
+	if _, _, err := Uint(b[:2]); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated decode err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestUintOverflow(t *testing.T) {
+	b := make([]byte, 11)
+	for i := range b {
+		b[i] = 0x80
+	}
+	if _, _, err := Uint(b); err != ErrOverflow {
+		t.Errorf("overflow decode err = %v, want ErrOverflow", err)
+	}
+}
+
+func TestReaderWriterSequence(t *testing.T) {
+	var w Writer
+	w.Uint(300)
+	w.Int(-5)
+	w.Bytes([]byte("epoch"))
+	w.Uint(0)
+
+	r := NewReader(w.Result())
+	if u, err := r.Uint(); err != nil || u != 300 {
+		t.Fatalf("Uint = %d, %v", u, err)
+	}
+	if v, err := r.Int(); err != nil || v != -5 {
+		t.Fatalf("Int = %d, %v", v, err)
+	}
+	if b, err := r.Bytes(); err != nil || string(b) != "epoch" {
+		t.Fatalf("Bytes = %q, %v", b, err)
+	}
+	if u, err := r.Uint(); err != nil || u != 0 {
+		t.Fatalf("Uint = %d, %v", u, err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("trailing bytes: %d", r.Len())
+	}
+}
+
+func TestReaderBytesTruncated(t *testing.T) {
+	var w Writer
+	w.Uint(10) // claims 10 bytes follow, but none do
+	r := NewReader(w.Result())
+	if _, err := r.Bytes(); err != io.ErrUnexpectedEOF {
+		t.Errorf("Bytes err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestReaderEmpty(t *testing.T) {
+	r := NewReader(nil)
+	if _, err := r.Uint(); err != io.ErrUnexpectedEOF {
+		t.Errorf("empty Uint err = %v", err)
+	}
+}
+
+func BenchmarkAppendInt(b *testing.B) {
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = AppendInt(buf[:0], int64(i%7-3))
+	}
+}
+
+func BenchmarkDecodeInt(b *testing.B) {
+	buf := AppendInt(nil, -3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Int(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"cdcreplay/internal/cdcformat"
+	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/tables"
+)
+
+func matchedOf(events []tables.Event) []tables.MatchedEntry {
+	var out []tables.MatchedEntry
+	for _, ev := range events {
+		if ev.Flag {
+			out = append(out, tables.MatchedEntry{Rank: ev.Rank, Clock: ev.Clock})
+		}
+	}
+	return out
+}
+
+func TestStreamEventCount(t *testing.T) {
+	events := Stream(StreamParams{Events: 500, Seed: 1, UnmatchedProb: 0.5})
+	if got := len(matchedOf(events)); got != 500 {
+		t.Fatalf("got %d matched events, want 500", got)
+	}
+}
+
+func TestStreamPerSenderClocksIncrease(t *testing.T) {
+	events := Stream(StreamParams{Events: 2000, Senders: 6, Disorder: 8, Seed: 2})
+	last := map[int32]uint64{}
+	for _, m := range matchedOf(events) {
+		if m.Clock <= last[m.Rank] {
+			t.Fatalf("sender %d clock %d did not increase past %d", m.Rank, m.Clock, last[m.Rank])
+		}
+		last[m.Rank] = m.Clock
+	}
+}
+
+func TestStreamDisorderControlsPermutation(t *testing.T) {
+	inOrder := Stream(StreamParams{Events: 2000, Senders: 6, Disorder: 0, Seed: 3})
+	disordered := Stream(StreamParams{Events: 2000, Senders: 6, Disorder: 6, Seed: 3})
+	c0 := cdcformat.BuildChunk(0, inOrder)
+	c1 := cdcformat.BuildChunk(0, disordered)
+	if len(c0.Moves) != 0 {
+		t.Fatalf("zero-disorder stream produced %d moves", len(c0.Moves))
+	}
+	if len(c1.Moves) == 0 {
+		t.Fatal("disordered stream produced no moves")
+	}
+}
+
+func TestStreamDeterministicForSeed(t *testing.T) {
+	a := Stream(MCBLike(1000, 1, 7))
+	b := Stream(MCBLike(1000, 1, 7))
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different stream lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+}
+
+func TestIntensityScalesEvents(t *testing.T) {
+	x1 := Stream(MCBLike(1000, 1, 5))
+	x2 := Stream(MCBLike(1000, 2, 5))
+	if got1, got2 := len(matchedOf(x1)), len(matchedOf(x2)); got2 != 2*got1 {
+		t.Fatalf("intensity 2 produced %d events, want %d", got2, 2*got1)
+	}
+}
+
+func TestDeterministicLikeHasNoMovesAndNoUnmatched(t *testing.T) {
+	events := Stream(DeterministicLike(1000, 9))
+	c := cdcformat.BuildChunk(0, events)
+	if len(c.Moves) != 0 || len(c.Unmatched) != 0 {
+		t.Fatalf("deterministic stream: %d moves, %d unmatched runs", len(c.Moves), len(c.Unmatched))
+	}
+	if len(c.WithNext) == 0 {
+		t.Fatal("deterministic stream produced no grouped completions")
+	}
+}
+
+func TestExchangeConservation(t *testing.T) {
+	const n = 4
+	w := simmpi.NewWorld(n, simmpi.Options{Seed: 11, MaxJitter: 6})
+	var sent, received uint64
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	err := w.Run(func(mpi simmpi.MPI) error {
+		r, err := Exchange(mpi, ExchangeParams{Rounds: 3, MessagesPerRound: 5, Seed: 13})
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", mpi.Rank(), err)
+		}
+		<-mu
+		sent += r.Sent
+		received += r.Received
+		mu <- struct{}{}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != received {
+		t.Fatalf("sent %d != received %d", sent, received)
+	}
+	if sent != uint64(n*3*5) {
+		t.Fatalf("sent %d, want %d", sent, n*3*5)
+	}
+}
+
+func TestExchangeSingleRank(t *testing.T) {
+	w := simmpi.NewWorld(1, simmpi.Options{Seed: 12})
+	err := w.Run(func(mpi simmpi.MPI) error {
+		r, err := Exchange(mpi, ExchangeParams{Rounds: 2, MessagesPerRound: 3})
+		if err != nil {
+			return err
+		}
+		if r.Sent != 0 {
+			return fmt.Errorf("single rank sent %d messages", r.Sent)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
