@@ -6,17 +6,22 @@
 // Usage:
 //
 //	cdcinspect /tmp/rec/rank0000.cdc
-//	cdcinspect -v /tmp/rec/rank0000.cdc   # per-chunk tables
+//	cdcinspect -v /tmp/rec/rank0000.cdc          # per-chunk tables
+//	cdcinspect -verify /tmp/rec/rank*.cdc        # CRC scan; exit 1 if truncated
+//	cdcinspect -salvage -o /tmp/fixed /tmp/rec   # recover a crashed record dir
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"cdcreplay/internal/cdcformat"
 	"cdcreplay/internal/core"
+	"cdcreplay/internal/recorddir"
 )
 
 type callsiteSummary struct {
@@ -28,8 +33,30 @@ type callsiteSummary struct {
 
 func main() {
 	verbose := flag.Bool("v", false, "dump per-chunk tables")
+	verify := flag.Bool("verify", false, "scan record files for frame CRC/truncation damage; exit 1 if any is damaged")
+	salvage := flag.Bool("salvage", false, "recover a replayable prefix from a crashed record directory")
+	out := flag.String("o", "", "output directory for -salvage")
 	flag.Parse()
-	if flag.NArg() != 1 {
+	switch {
+	case *salvage:
+		if flag.NArg() != 1 || *out == "" {
+			fmt.Fprintln(os.Stderr, "usage: cdcinspect -salvage -o <out-dir> <record-dir>")
+			os.Exit(2)
+		}
+		os.Exit(runSalvage(flag.Arg(0), *out))
+	case *verify:
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: cdcinspect -verify <record-file>...")
+			os.Exit(2)
+		}
+		code := 0
+		for _, path := range flag.Args() {
+			if runVerify(path) != 0 {
+				code = 1
+			}
+		}
+		os.Exit(code)
+	case flag.NArg() != 1:
 		fmt.Fprintln(os.Stderr, "usage: cdcinspect [-v] <record-file>")
 		os.Exit(2)
 	}
@@ -99,6 +126,67 @@ func main() {
 	for _, line := range verboseLines {
 		fmt.Print(line)
 	}
+}
+
+// runVerify CRC-scans one record file and reports its intact prefix.
+func runVerify(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcinspect: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	scan := func() error {
+		fr, err := core.NewFrameReader(f)
+		if err != nil {
+			return err
+		}
+		defer fr.Close()
+		for {
+			if _, err := fr.Next(); err == io.EOF {
+				fmt.Printf("%s: ok: %d frames, %d events, %d flush points\n",
+					path, fr.Frames(), fr.Events(), fr.FlushPoints())
+				return nil
+			} else if err != nil {
+				return err
+			}
+		}
+	}
+	if err := scan(); err != nil {
+		var trunc *core.TruncatedRecordError
+		if errors.As(err, &trunc) {
+			fmt.Printf("%s: TRUNCATED after %d intact frames (%d events, %d flush points): %v\n",
+				path, trunc.Frames, trunc.Events, trunc.FlushPoints, trunc.Cause)
+		} else {
+			fmt.Printf("%s: DAMAGED: %v\n", path, err)
+		}
+		return 1
+	}
+	return 0
+}
+
+// runSalvage recovers a crashed record directory into out.
+func runSalvage(dir, out string) int {
+	report, err := recorddir.Salvage(dir, out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdcinspect: salvage: %v\n", err)
+		return 1
+	}
+	kept, total := report.Events()
+	fmt.Printf("salvaged %s -> %s: %d of %d events kept\n", dir, out, kept, total)
+	for _, rs := range report.Ranks {
+		state := "clean"
+		if rs.Truncated {
+			state = "truncated (" + rs.Damage + ")"
+		}
+		front := "intact"
+		if rs.Frontier != math.MaxUint64 {
+			front = fmt.Sprintf("clock %d", rs.Frontier)
+		}
+		fmt.Printf("  rank %d: %s; kept %d/%d segments, %d/%d events; frontier %s\n",
+			rs.Rank, state, rs.SegmentsKept, rs.SegmentsTotal, rs.EventsKept, rs.EventsTotal, front)
+	}
+	return 0
 }
 
 func summary(m map[uint64]*callsiteSummary, order *[]uint64, cs uint64) *callsiteSummary {

@@ -41,6 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 	params := jacobi.Params{Rows: *rows, Cols: *cols, Iterations: *iters}
+	var salvaged bool
 	switch *mode {
 	case "record":
 		err := recorddir.Create(*dir, recorddir.Manifest{
@@ -57,10 +58,12 @@ func main() {
 			os.Exit(1)
 		}
 	case "replay":
-		if _, err := recorddir.Open(*dir, "jacobi", *ranks); err != nil {
+		m, err := recorddir.Open(*dir, "jacobi", *ranks)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
 			os.Exit(1)
 		}
+		salvaged = m.Salvaged
 	}
 	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 6})
 
@@ -98,9 +101,17 @@ func main() {
 			if err != nil {
 				return err
 			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
+			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: salvaged})
 			stack = rp
-			finish = rp.Verify
+			finish = func() error {
+				if err := rp.Verify(); err != nil {
+					return err
+				}
+				if live, why := rp.Live(); live {
+					fmt.Fprintf(os.Stderr, "jacobi: rank %d: %s\n", rank, why)
+				}
+				return nil
+			}
 		default:
 			return fmt.Errorf("unknown mode %q", *mode)
 		}
@@ -121,6 +132,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
 		os.Exit(1)
+	}
+	if *mode == "record" {
+		if err := recorddir.Finalize(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("mode=%s ranks=%d grid=%dx%d iters=%d residual=%.6g\n",
 		*mode, *ranks, *rows, *cols, *iters, residual)

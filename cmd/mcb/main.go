@@ -36,6 +36,8 @@ func main() {
 	mode := flag.String("mode", "plain", "plain|record|replay")
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
 	flush := flag.Duration("flush", 0, "periodic chunk flush interval for record mode (0 = event-count flushing only)")
+	flushRows := flag.Int("flushrows", 0, "flush the record to storage every N rows (0 = only at close); bounds data lost to a crash")
+	durable := flag.Bool("durable", false, "fsync the record at every flush point (crash-consistent, slower)")
 	seed := flag.Int64("seed", 0, "network noise seed (0 = arbitrary)")
 	flag.Parse()
 
@@ -44,6 +46,7 @@ func main() {
 		os.Exit(2)
 	}
 	params := mcb.Params{Particles: *particles, TimeSteps: *steps, Seed: 7}
+	var salvaged bool
 	switch *mode {
 	case "record":
 		err := recorddir.Create(*dir, recorddir.Manifest{
@@ -59,15 +62,18 @@ func main() {
 			os.Exit(1)
 		}
 	case "replay":
-		if _, err := recorddir.Open(*dir, "mcb", *ranks); err != nil {
+		m, err := recorddir.Open(*dir, "mcb", *ranks)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
 			os.Exit(1)
 		}
+		salvaged = m.Salvaged
 	}
 	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 8})
 
 	var mu sync.Mutex
 	var global mcb.Result
+	var liveNotes []string
 	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
 		var stack simmpi.MPI
 		var finish func() error
@@ -79,11 +85,12 @@ func main() {
 			if err != nil {
 				return err
 			}
-			enc, err := core.NewEncoder(f, core.EncoderOptions{})
+			enc, err := core.NewEncoder(f, core.EncoderOptions{Durable: *durable})
 			if err != nil {
 				return err
 			}
-			rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{FlushInterval: *flush})
+			rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc),
+				record.Options{FlushInterval: *flush, FlushEveryRows: *flushRows})
 			stack = rec
 			finish = func() error {
 				if err := rec.Close(); err != nil {
@@ -96,9 +103,19 @@ func main() {
 			if err != nil {
 				return err
 			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
+			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: salvaged})
 			stack = rp
-			finish = rp.Verify
+			finish = func() error {
+				if err := rp.Verify(); err != nil {
+					return err
+				}
+				if live, why := rp.Live(); live {
+					mu.Lock()
+					liveNotes = append(liveNotes, fmt.Sprintf("rank %d: %s", rank, why))
+					mu.Unlock()
+				}
+				return nil
+			}
 		default:
 			return fmt.Errorf("unknown mode %q", *mode)
 		}
@@ -119,6 +136,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
 		os.Exit(1)
+	}
+	if *mode == "record" {
+		if err := recorddir.Finalize(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(liveNotes) > 0 {
+		fmt.Println("replayed the salvaged record to its crash frontier; execution continued live:")
+		for _, n := range liveNotes {
+			fmt.Println("  " + n)
+		}
 	}
 	fmt.Printf("mode=%s ranks=%d particles/rank=%d steps=%d\n", *mode, *ranks, *particles, *steps)
 	fmt.Printf("global tracks: %.0f  (%.0f tracks/sec)\n", global.GlobalTracks, global.TracksPerSec())

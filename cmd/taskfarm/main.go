@@ -41,6 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 	params := taskfarm.Params{Tasks: *tasks, Work: *work}
+	var salvaged bool
 	switch *mode {
 	case "record":
 		err := recorddir.Create(*dir, recorddir.Manifest{
@@ -56,10 +57,12 @@ func main() {
 			os.Exit(1)
 		}
 	case "replay":
-		if _, err := recorddir.Open(*dir, "taskfarm", *ranks); err != nil {
+		m, err := recorddir.Open(*dir, "taskfarm", *ranks)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
 			os.Exit(1)
 		}
+		salvaged = m.Salvaged
 	}
 
 	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 8})
@@ -93,9 +96,17 @@ func main() {
 			if err != nil {
 				return err
 			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
+			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: salvaged})
 			stack = rp
-			finish = rp.Verify
+			finish = func() error {
+				if err := rp.Verify(); err != nil {
+					return err
+				}
+				if live, why := rp.Live(); live {
+					fmt.Fprintf(os.Stderr, "taskfarm: rank %d: %s\n", rank, why)
+				}
+				return nil
+			}
 		default:
 			return fmt.Errorf("unknown mode %q", *mode)
 		}
@@ -116,6 +127,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
 		os.Exit(1)
+	}
+	if *mode == "record" {
+		if err := recorddir.Finalize(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("mode=%s ranks=%d tasks=%d\n", *mode, *ranks, *tasks)
 	fmt.Printf("reduction: %.17g\n", master.Reduction)

@@ -297,5 +297,6 @@ func (m *CDCMethod) BytesWritten() int64 { return m.enc.BytesWritten() }
 // Stats exposes the wrapped encoder's statistics.
 func (m *CDCMethod) Stats() core.Stats { return m.enc.Stats() }
 
-// FlushAll forwards the periodic memory-bound flush (§3.5).
-func (m *CDCMethod) FlushAll() error { return m.enc.FlushAll() }
+// FlushAll forwards the periodic memory-bound flush (§3.5), stamping the
+// rank's sampled Lamport clock into the flush-point mark.
+func (m *CDCMethod) FlushAll(clock uint64) error { return m.enc.FlushAll(clock) }

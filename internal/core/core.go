@@ -11,11 +11,22 @@
 //
 // # Record file layout
 //
-//	magic "CDCRECv1"
+//	magic "CDCRECv2"
 //	gzip stream of frames:
-//	  frame := kind byte, varint payload length, payload
+//	  frame := kind byte, varint payload length, payload, CRC32 trailer
 //	  kind 1: chunk           (cdcformat.Chunk)
 //	  kind 2: callsite name   (varint id, UTF-8 name)
+//	  kind 3: flush point     (varint writer clock)
+//
+// The trailer is the IEEE CRC32 of kind+length+payload, little-endian, so a
+// reader can stop cleanly at the last intact frame of a crashed run's
+// record. A flush-point frame marks a consistent cut: the encoder writes one
+// only when every callsite stream was flushed through it, which is what
+// makes a salvaged prefix replayable (see recorddir.Salvage). The frame
+// carries the rank's own Lamport clock at the cut (a lower bound sampled on
+// the application thread): every send the rank made with a smaller or equal
+// clock provably precedes the cut, which is what lets salvage compute a
+// tight cross-rank consistency frontier instead of cascading to nothing.
 //
 // Chunks for one callsite appear in record order; chunks of different
 // callsites interleave in flush order.
@@ -23,7 +34,9 @@ package core
 
 import (
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 
 	"cdcreplay/internal/cdcformat"
@@ -31,13 +44,16 @@ import (
 	"cdcreplay/internal/varint"
 )
 
-// Magic is the record file signature.
-const Magic = "CDCRECv1"
+// Magic is the record file signature. v2 added per-frame CRC32 trailers and
+// flush-point frames; v1 files are not readable (the reproduction has no
+// compatibility window to honour).
+const Magic = "CDCRECv2"
 
 // Frame kinds.
 const (
 	frameChunk    = 1
 	frameCallsite = 2
+	frameFlush    = 3
 )
 
 // maxFrameLen bounds a frame payload during decode (corruption guard).
@@ -57,6 +73,10 @@ type EncoderOptions struct {
 	// patterns the paper evaluates) but can stall or abort on
 	// tightly-coupled blocking exchanges; see cdcformat.Chunk.Senders.
 	OmitSenderColumn bool
+	// Durable fsyncs the underlying writer (when it implements Syncer) at
+	// every flush point and on close, so a machine crash loses at most the
+	// events since the last FlushAll.
+	Durable bool
 }
 
 func (o *EncoderOptions) fill() {
@@ -87,6 +107,9 @@ type Stats struct {
 	ValuesCDC uint64
 	// Chunks is the number of chunks flushed.
 	Chunks uint64
+	// FlushPoints is the number of consistent-cut marks written (FlushAll
+	// rounds that flushed every stream, plus the final one at Close).
+	FlushPoints uint64
 }
 
 // PermutationPercent returns 100·Np/N, the Fig. 14 metric.
@@ -108,16 +131,125 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Syncer is the subset of *os.File a durable writer needs: forcing buffered
+// bytes to stable storage.
+type Syncer interface{ Sync() error }
+
+// FrameWriter emits the physical record-file layer: magic, gzip stream, and
+// CRC32-trailed frames. The Encoder drives it for CDC records; salvage
+// tooling drives it directly to rewrite verified frames.
+type FrameWriter struct {
+	cw      *countingWriter
+	zw      *gzip.Writer
+	sync    Syncer // non-nil when durable and the writer can fsync
+	scratch []byte
+	closed  bool
+}
+
+// NewFrameWriter writes the magic and opens the gzip stream. With durable
+// set, every FlushPoint and the final Close fsync the underlying writer if
+// it implements Syncer.
+func NewFrameWriter(w io.Writer, gzipLevel int, durable bool) (*FrameWriter, error) {
+	if gzipLevel == 0 {
+		gzipLevel = gzip.DefaultCompression
+	}
+	cw := &countingWriter{w: w}
+	if _, err := io.WriteString(cw, Magic); err != nil {
+		return nil, err
+	}
+	zw, err := gzip.NewWriterLevel(cw, gzipLevel)
+	if err != nil {
+		return nil, err
+	}
+	fw := &FrameWriter{cw: cw, zw: zw}
+	if durable {
+		fw.sync, _ = w.(Syncer)
+	}
+	return fw, nil
+}
+
+// WriteFrame emits one frame: kind, varint length, payload, and the CRC32
+// trailer over the three.
+func (fw *FrameWriter) WriteFrame(kind byte, payload []byte) error {
+	if fw.closed {
+		return errors.New("core: WriteFrame after Close")
+	}
+	buf := append(fw.scratch[:0], kind)
+	buf = varint.AppendUint(buf, uint64(len(payload)))
+	crc := crc32.ChecksumIEEE(buf)
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if _, err := fw.zw.Write(buf); err != nil {
+		return err
+	}
+	if _, err := fw.zw.Write(payload); err != nil {
+		return err
+	}
+	buf = binary.LittleEndian.AppendUint32(buf[:0], crc)
+	_, err := fw.zw.Write(buf)
+	fw.scratch = buf
+	return err
+}
+
+// Flush pushes buffered frames through the compressor to the underlying
+// writer (gzip sync flush) and fsyncs when durable. It does not write a
+// flush-point frame; callers that have reached a consistent cut use
+// FlushPoint.
+func (fw *FrameWriter) Flush() error {
+	if err := fw.zw.Flush(); err != nil {
+		return err
+	}
+	if fw.sync != nil {
+		return fw.sync.Sync()
+	}
+	return nil
+}
+
+// FlushPoint marks a consistent cut — a flush-point frame carrying the
+// writer's clock, followed by a Flush — after which everything written so
+// far is salvageable as a unit.
+func (fw *FrameWriter) FlushPoint(clock uint64) error {
+	if err := fw.WriteFrame(frameFlush, varint.AppendUint(nil, clock)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+// Close writes a final flush-point frame carrying clock, finalizes the gzip
+// stream, and fsyncs when durable. The FrameWriter cannot be used afterwards.
+func (fw *FrameWriter) Close(clock uint64) error {
+	if fw.closed {
+		return nil
+	}
+	if err := fw.WriteFrame(frameFlush, varint.AppendUint(nil, clock)); err != nil {
+		return err
+	}
+	fw.closed = true
+	if err := fw.zw.Close(); err != nil {
+		return err
+	}
+	if fw.sync != nil {
+		return fw.sync.Sync()
+	}
+	return nil
+}
+
+// BytesWritten reports the compressed bytes emitted so far (exact after
+// Close).
+func (fw *FrameWriter) BytesWritten() int64 { return fw.cw.n }
+
 // Encoder applies CDC to an event stream and writes the record file.
 // It is not safe for concurrent use; the recorder drives it from its
 // dedicated CDC goroutine.
 type Encoder struct {
 	opts    EncoderOptions
-	cw      *countingWriter
-	zw      *gzip.Writer
+	fw      *FrameWriter
 	pending map[uint64]*pendingStream
 	order   []uint64 // callsites in first-seen order, for deterministic flush
 	named   map[uint64]bool
+	// clock is the best lower bound on the writing rank's Lamport clock:
+	// the max of FlushAll-supplied samples and observed receive clocks. It
+	// stamps flush-point frames.
+	clock   uint64
 	stats   Stats
 	scratch []byte
 	closed  bool
@@ -134,18 +266,13 @@ type pendingStream struct {
 // NewEncoder creates an Encoder writing to w.
 func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
 	opts.fill()
-	cw := &countingWriter{w: w}
-	if _, err := io.WriteString(cw, Magic); err != nil {
-		return nil, err
-	}
-	zw, err := gzip.NewWriterLevel(cw, opts.GzipLevel)
+	fw, err := NewFrameWriter(w, opts.GzipLevel, opts.Durable)
 	if err != nil {
 		return nil, err
 	}
 	return &Encoder{
 		opts:    opts,
-		cw:      cw,
-		zw:      zw,
+		fw:      fw,
 		pending: make(map[uint64]*pendingStream),
 		named:   make(map[uint64]bool),
 	}, nil
@@ -161,7 +288,7 @@ func (e *Encoder) RegisterCallsite(id uint64, name string) error {
 	var w varint.Writer
 	w.Uint(id)
 	w.Bytes([]byte(name))
-	return e.writeFrame(frameCallsite, w.Result())
+	return e.fw.WriteFrame(frameCallsite, w.Result())
 }
 
 // Observe feeds one event row for a callsite. Matched rows are flushed in
@@ -180,6 +307,9 @@ func (e *Encoder) Observe(callsite uint64, ev tables.Event) error {
 	if ev.Flag {
 		e.stats.MatchedEvents++
 		ps.matched++
+		if ev.Clock > e.clock {
+			e.clock = ev.Clock
+		}
 	} else {
 		e.stats.UnmatchedTests += ev.Count
 	}
@@ -228,16 +358,7 @@ func (e *Encoder) flush(callsite uint64, ps *pendingStream) error {
 	e.stats.PermutedMessages += uint64(len(chunk.Moves))
 	e.stats.ValuesCDC += uint64(chunk.ValueCount())
 	e.scratch = chunk.Marshal(e.scratch[:0])
-	return e.writeFrame(frameChunk, e.scratch)
-}
-
-func (e *Encoder) writeFrame(kind byte, payload []byte) error {
-	hdr := varint.AppendUint([]byte{kind}, uint64(len(payload)))
-	if _, err := e.zw.Write(hdr); err != nil {
-		return err
-	}
-	_, err := e.zw.Write(payload)
-	return err
+	return e.fw.WriteFrame(frameChunk, e.scratch)
 }
 
 // FlushAll flushes every pending stream to storage as chunks, regardless
@@ -245,14 +366,28 @@ func (e *Encoder) writeFrame(kind byte, payload []byte) error {
 // ("debugging tools need to minimize memory usage"). A stream whose
 // buffered events end inside a with_next group is skipped this round:
 // groups must never straddle chunks.
-func (e *Encoder) FlushAll() error {
+//
+// When no stream was skipped, the flushed frames form a consistent cut of
+// the rank's event history and a flush-point frame marks it; a crashed
+// record is salvageable back to its last such mark. A round that had to
+// skip a stream still pushes bytes to storage but writes no mark.
+//
+// clock is the writing rank's Lamport clock sampled when the newest flushed
+// row's MF call returned (zero if the caller has no clock source); it — or
+// any larger bound already observed — is stamped into the flush-point frame.
+func (e *Encoder) FlushAll(clock uint64) error {
 	if e.closed {
 		return errors.New("core: FlushAll after Close")
 	}
+	if clock > e.clock {
+		e.clock = clock
+	}
+	skipped := false
 	for _, cs := range e.order {
 		ps := e.pending[cs]
 		if n := len(ps.events); n > 0 {
 			if last := ps.events[n-1]; last.Flag && last.WithNext {
+				skipped = true
 				continue
 			}
 		}
@@ -260,14 +395,15 @@ func (e *Encoder) FlushAll() error {
 			return err
 		}
 	}
-	// Push the frames through the compressor so they actually reach
-	// storage now; a sync flush costs a few bytes per call, the price of
-	// crash-durable periodic flushing.
-	return e.zw.Flush()
+	if skipped {
+		return e.fw.Flush()
+	}
+	e.stats.FlushPoints++
+	return e.fw.FlushPoint(e.clock)
 }
 
-// Close flushes every pending stream and finalizes the gzip stream. The
-// Encoder cannot be used afterwards.
+// Close flushes every pending stream and finalizes the gzip stream (whose
+// final frame is a flush-point mark). The Encoder cannot be used afterwards.
 func (e *Encoder) Close() error {
 	if e.closed {
 		return nil
@@ -278,12 +414,13 @@ func (e *Encoder) Close() error {
 			return err
 		}
 	}
-	return e.zw.Close()
+	e.stats.FlushPoints++
+	return e.fw.Close(e.clock)
 }
 
 // BytesWritten reports the compressed bytes emitted so far (exact after
 // Close).
-func (e *Encoder) BytesWritten() int64 { return e.cw.n }
+func (e *Encoder) BytesWritten() int64 { return e.fw.BytesWritten() }
 
 // Stats returns the accumulated statistics.
 func (e *Encoder) Stats() Stats { return e.stats }
@@ -330,6 +467,9 @@ func ReadRecord(rd io.Reader) (*Record, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if f.Flush {
+			continue
 		}
 		if f.Chunk != nil {
 			rec.Chunks[f.Chunk.Callsite] = append(rec.Chunks[f.Chunk.Callsite], f.Chunk)

@@ -2,71 +2,137 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"cdcreplay/internal/cdcformat"
 	"cdcreplay/internal/varint"
 )
 
+// ErrTruncatedRecord marks a record whose tail is missing or damaged — the
+// expected state of a record whose writer crashed. Errors carrying it are
+// *TruncatedRecordError values describing the intact prefix, so callers can
+// salvage rather than give up; match with errors.Is(err, ErrTruncatedRecord).
+var ErrTruncatedRecord = errors.New("core: record truncated")
+
+// TruncatedRecordError reports damage past a CRC-valid prefix. Every frame
+// counted was verified intact; the damage begins strictly after them.
+type TruncatedRecordError struct {
+	// Frames is the number of intact frames before the damage.
+	Frames uint64
+	// Events is the number of matched receive events those frames hold —
+	// the salvageable event count.
+	Events uint64
+	// FlushPoints is the number of intact flush-point marks; salvage cuts
+	// the record at the last one.
+	FlushPoints uint64
+	// Cause is the underlying decode failure.
+	Cause error
+}
+
+func (e *TruncatedRecordError) Error() string {
+	return fmt.Sprintf("core: record truncated after %d intact frame(s), %d event(s), %d flush point(s): %v",
+		e.Frames, e.Events, e.FlushPoints, e.Cause)
+}
+
+// Is makes errors.Is(err, ErrTruncatedRecord) match.
+func (e *TruncatedRecordError) Is(target error) bool { return target == ErrTruncatedRecord }
+
+// Unwrap exposes the underlying decode failure.
+func (e *TruncatedRecordError) Unwrap() error { return e.Cause }
+
 // Frame is one decoded record-stream frame.
 type Frame struct {
+	// Kind and Payload are the raw frame content, for tooling (salvage)
+	// that re-emits frames verbatim.
+	Kind    byte
+	Payload []byte
 	// Chunk is non-nil for chunk frames.
 	Chunk *cdcformat.Chunk
 	// CallsiteID and CallsiteName are set for callsite-name frames.
 	CallsiteID   uint64
 	CallsiteName string
+	// Flush marks a flush-point frame (a consistent cut); FlushClock is the
+	// writing rank's Lamport clock lower bound at that cut.
+	Flush      bool
+	FlushClock uint64
 }
 
 // FrameReader decodes a record file incrementally, one frame at a time,
 // without materializing the whole stream — the memory-bounded path a
 // replay-side CDC thread would use (paper Fig. 11's decode box). ReadRecord
 // is a convenience built on top of it.
+//
+// Every frame's CRC32 trailer is verified before the frame is returned. On
+// a damaged or truncated stream, Next returns a *TruncatedRecordError
+// (matching ErrTruncatedRecord) describing the intact prefix; it never
+// panics, whatever the input bytes.
 type FrameReader struct {
 	zr  *gzip.Reader
 	br  *bufio.Reader
 	err error
+
+	frames      uint64
+	events      uint64
+	flushPoints uint64
 }
 
-// NewFrameReader validates the magic and opens the gzip stream.
+// NewFrameReader validates the magic and opens the gzip stream. A file too
+// short to hold them yields a *TruncatedRecordError with an empty prefix; a
+// present-but-wrong magic is a format error, not truncation.
 func NewFrameReader(rd io.Reader) (*FrameReader, error) {
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(rd, magic); err != nil {
-		return nil, fmt.Errorf("core: reading magic: %w", err)
+		return nil, &TruncatedRecordError{Cause: fmt.Errorf("core: reading magic: %w", noEOF(err))}
 	}
 	if string(magic) != Magic {
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
 	zr, err := gzip.NewReader(rd)
 	if err != nil {
-		return nil, fmt.Errorf("core: opening gzip stream: %w", err)
+		return nil, &TruncatedRecordError{Cause: fmt.Errorf("core: opening gzip stream: %w", noEOF(err))}
 	}
 	return &FrameReader{zr: zr, br: bufio.NewReader(zr)}, nil
 }
 
+// Frames reports the number of CRC-verified frames returned so far.
+func (fr *FrameReader) Frames() uint64 { return fr.frames }
+
+// Events reports the matched receive events in the verified frames so far.
+func (fr *FrameReader) Events() uint64 { return fr.events }
+
+// FlushPoints reports the flush-point marks seen so far.
+func (fr *FrameReader) FlushPoints() uint64 { return fr.flushPoints }
+
 // readUvarint decodes one unsigned varint from the buffered stream.
-func (fr *FrameReader) readUvarint() (uint64, error) {
+func (fr *FrameReader) readUvarint() (uint64, []byte, error) {
 	var u uint64
 	var shift uint
+	var raw []byte
 	for i := 0; ; i++ {
 		if i == 10 {
-			return 0, varint.ErrOverflow
+			return 0, nil, varint.ErrOverflow
 		}
 		b, err := fr.br.ReadByte()
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
+		raw = append(raw, b)
 		u |= uint64(b&0x7f) << shift
 		if b < 0x80 {
-			return u, nil
+			return u, raw, nil
 		}
 		shift += 7
 	}
 }
 
-// Next returns the next frame, or io.EOF at a clean end of stream.
+// Next returns the next verified frame, io.EOF at a clean end of stream, or
+// a *TruncatedRecordError where the intact prefix ends.
 func (fr *FrameReader) Next() (*Frame, error) {
 	if fr.err != nil {
 		return nil, fr.err
@@ -79,17 +145,32 @@ func (fr *FrameReader) Next() (*Frame, error) {
 	if err != nil {
 		return nil, fr.fail(fmt.Errorf("core: frame kind: %w", err))
 	}
-	n, err := fr.readUvarint()
+	n, lenBytes, err := fr.readUvarint()
 	if err != nil {
 		return nil, fr.fail(fmt.Errorf("core: frame length: %w", noEOF(err)))
 	}
 	if n > maxFrameLen {
 		return nil, fr.fail(fmt.Errorf("core: frame too large: %d", n))
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(fr.br, payload); err != nil {
+	// Stream the payload instead of trusting n with one up-front allocation:
+	// a corrupt length field on a short stream then costs only the bytes
+	// actually present, not a maxFrameLen-sized zeroed buffer.
+	var pbuf bytes.Buffer
+	if _, err := io.CopyN(&pbuf, fr.br, int64(n)); err != nil {
 		return nil, fr.fail(fmt.Errorf("core: frame payload: %w", noEOF(err)))
 	}
+	payload := pbuf.Bytes()
+	var trailer [4]byte
+	if _, err := io.ReadFull(fr.br, trailer[:]); err != nil {
+		return nil, fr.fail(fmt.Errorf("core: frame CRC trailer: %w", noEOF(err)))
+	}
+	crc := crc32.ChecksumIEEE([]byte{kind})
+	crc = crc32.Update(crc, crc32.IEEETable, lenBytes)
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if want := binary.LittleEndian.Uint32(trailer[:]); crc != want {
+		return nil, fr.fail(fmt.Errorf("core: frame CRC mismatch: computed %08x, stored %08x", crc, want))
+	}
+	f := &Frame{Kind: kind, Payload: payload}
 	pr := varint.NewReader(payload)
 	switch kind {
 	case frameChunk:
@@ -100,7 +181,8 @@ func (fr *FrameReader) Next() (*Frame, error) {
 		if pr.Len() != 0 {
 			return nil, fr.fail(fmt.Errorf("core: %d trailing bytes in chunk frame", pr.Len()))
 		}
-		return &Frame{Chunk: chunk}, nil
+		f.Chunk = chunk
+		fr.events += chunk.NumMatched
 	case frameCallsite:
 		id, err := pr.Uint()
 		if err != nil {
@@ -110,18 +192,37 @@ func (fr *FrameReader) Next() (*Frame, error) {
 		if err != nil {
 			return nil, fr.fail(fmt.Errorf("core: callsite name: %w", err))
 		}
-		return &Frame{CallsiteID: id, CallsiteName: string(name)}, nil
+		f.CallsiteID, f.CallsiteName = id, string(name)
+	case frameFlush:
+		clock, err := pr.Uint()
+		if err != nil {
+			return nil, fr.fail(fmt.Errorf("core: flush frame clock: %w", err))
+		}
+		if pr.Len() != 0 {
+			return nil, fr.fail(fmt.Errorf("core: %d trailing bytes in flush frame", pr.Len()))
+		}
+		f.Flush = true
+		f.FlushClock = clock
+		fr.flushPoints++
 	default:
 		return nil, fr.fail(fmt.Errorf("core: unknown frame kind %d", kind))
 	}
+	fr.frames++
+	return f, nil
 }
 
 // Close releases the gzip reader. It does not close the underlying reader.
 func (fr *FrameReader) Close() error { return fr.zr.Close() }
 
-func (fr *FrameReader) fail(err error) error {
-	fr.err = err
-	return err
+// fail latches the stream as damaged past the current intact prefix.
+func (fr *FrameReader) fail(cause error) error {
+	fr.err = &TruncatedRecordError{
+		Frames:      fr.frames,
+		Events:      fr.events,
+		FlushPoints: fr.flushPoints,
+		Cause:       cause,
+	}
+	return fr.err
 }
 
 // noEOF upgrades a bare EOF inside a frame to ErrUnexpectedEOF: the stream

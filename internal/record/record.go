@@ -16,6 +16,7 @@ package record
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"cdcreplay/internal/baseline"
@@ -43,6 +44,11 @@ type Options struct {
 	// idle — the periodic memory-bound flush of §3.5. Zero disables
 	// time-based flushing (chunks still flush by event count).
 	FlushInterval time.Duration
+	// FlushEveryRows, when positive, flushes all pending chunks after
+	// every N observed rows. Unlike FlushInterval the cadence is a pure
+	// function of the event stream, so crash tests can place flush points
+	// deterministically.
+	FlushEveryRows int
 }
 
 func (o *Options) fill() {
@@ -55,6 +61,11 @@ type queueItem struct {
 	callsite uint64
 	name     string // non-empty on first occurrence of the callsite
 	ev       tables.Event
+	// clock is the rank's Lamport clock sampled when the MF call producing
+	// this row returned. The CDC goroutine stamps the newest row's clock
+	// into flush-point marks so salvage can bound which of this rank's
+	// sends each cut covers.
+	clock uint64
 }
 
 // RateStats capture the §6.2 queue-throughput measurement.
@@ -77,9 +88,17 @@ type Recorder struct {
 	q    *spsc.Queue[queueItem]
 	done chan error
 
-	// pendingUnmatched aggregates consecutive failed tests per callsite.
-	pendingUnmatched map[uint64]uint64
-	seenCallsite     map[uint64]bool
+	seenCallsite map[uint64]bool
+
+	// clockNow samples the layer below's Lamport clock (nil when the next
+	// layer has none).
+	clockNow func() uint64
+
+	// firstErr latches the first backend/IO failure the CDC goroutine
+	// hits, so the application thread observes it from its next MF call
+	// instead of discovering garbage at Close.
+	firstErr  atomic.Pointer[error]
+	abandoned atomic.Bool
 
 	stats  RateStats
 	closed bool
@@ -92,45 +111,111 @@ var _ simmpi.MPI = (*Recorder)(nil)
 func New(next simmpi.MPI, backend baseline.Method, opts Options) *Recorder {
 	opts.fill()
 	r := &Recorder{
-		next:             next,
-		backend:          backend,
-		opts:             opts,
-		q:                spsc.New[queueItem](opts.QueueCapacity),
-		done:             make(chan error, 1),
-		pendingUnmatched: make(map[uint64]uint64),
-		seenCallsite:     make(map[uint64]bool),
+		next:         next,
+		backend:      backend,
+		opts:         opts,
+		q:            spsc.New[queueItem](opts.QueueCapacity),
+		done:         make(chan error, 1),
+		seenCallsite: make(map[uint64]bool),
+	}
+	if c, ok := next.(interface{ Clock() uint64 }); ok {
+		r.clockNow = c.Clock
 	}
 	go r.cdcThread()
 	return r
 }
 
-// flusher is implemented by backends supporting periodic flushing.
+// flusher is implemented by backends supporting periodic flushing; the
+// argument is the producing rank's Lamport clock at the newest flushed row.
 type flusher interface {
-	FlushAll() error
+	FlushAll(clock uint64) error
 }
 
-// cdcThread is the dedicated encoder goroutine (paper Fig. 11).
+// cdcThread is the dedicated encoder goroutine (paper Fig. 11). It owns the
+// consecutive-failed-test aggregation (the count column of §3.1): producers
+// enqueue one row per failed test, and the aggregate row is materialized
+// here just before the event that ends the run — which keeps every flushed
+// cut complete, with no unmatched tail stranded on the application thread.
 func (r *Recorder) cdcThread() {
 	var busy time.Duration
 	var err error
 	fl, canFlush := r.backend.(flusher)
-	canFlush = canFlush && r.opts.FlushInterval > 0
+	timedFlush := canFlush && r.opts.FlushInterval > 0
 	lastFlush := time.Now()
+	rowsSinceFlush := 0
+	var lastClock uint64
+	// A flush that comes due mid-group (the producer enqueues one row per
+	// matched message, so a multi-message MF call spans several items) is
+	// deferred until the group's last row: flushing only at group boundaries
+	// guarantees no stream's buffer ends inside a with_next group, so every
+	// FlushAll seals a flush-point mark. It also keeps lastClock sound as the
+	// mark's clock — every row processed before the mark is in the flushed
+	// cut, so a prefix replay regenerates all sends up to that clock.
+	pendingFlush := false
+	midGroup := false
+
+	// pendingUnmatched aggregates consecutive failed tests per callsite;
+	// order lists callsites with a pending run, in first-pending order.
+	pendingUnmatched := make(map[uint64]uint64)
+	var pendingOrder []uint64
+
+	latch := func(e error) {
+		if err == nil && e != nil {
+			err = e
+			r.firstErr.CompareAndSwap(nil, &e)
+		}
+	}
+	observe := func(cs uint64, ev tables.Event) {
+		if err != nil {
+			return
+		}
+		latch(r.backend.Observe(cs, ev))
+	}
+	flushPendingUnmatched := func(only uint64, all bool) {
+		if all {
+			for _, cs := range pendingOrder {
+				if n := pendingUnmatched[cs]; n > 0 {
+					pendingUnmatched[cs] = 0
+					observe(cs, tables.Unmatched(n))
+				}
+			}
+			pendingOrder = pendingOrder[:0]
+			return
+		}
+		if n := pendingUnmatched[only]; n > 0 {
+			pendingUnmatched[only] = 0
+			observe(only, tables.Unmatched(n))
+		}
+	}
+	flushAll := func() {
+		if err != nil || !canFlush {
+			return
+		}
+		start := time.Now()
+		flushPendingUnmatched(0, true)
+		if err == nil {
+			latch(fl.FlushAll(lastClock))
+		}
+		busy += time.Since(start)
+		lastFlush = time.Now()
+		rowsSinceFlush = 0
+		pendingFlush = false
+	}
+
 	for {
 		var item queueItem
-		if canFlush {
+		if timedFlush {
 			var ok, done bool
 			item, ok, done = r.q.DequeueTimeout(r.opts.FlushInterval)
 			if done {
 				break
 			}
 			if !ok || time.Since(lastFlush) >= r.opts.FlushInterval {
-				if err == nil {
-					start := time.Now()
-					err = fl.FlushAll()
-					busy += time.Since(start)
+				if midGroup {
+					pendingFlush = true
+				} else {
+					flushAll()
 				}
-				lastFlush = time.Now()
 				if !ok {
 					continue
 				}
@@ -143,26 +228,50 @@ func (r *Recorder) cdcThread() {
 			}
 		}
 		start := time.Now()
-		if err == nil {
-			if item.name != "" {
-				if reg, ok := r.backend.(registrar); ok {
-					err = reg.RegisterCallsite(item.callsite, item.name)
-				}
-			}
-			if err == nil {
-				err = r.backend.Observe(item.callsite, item.ev)
+		if item.clock > lastClock {
+			lastClock = item.clock
+		}
+		if err == nil && item.name != "" {
+			if reg, ok := r.backend.(registrar); ok {
+				latch(reg.RegisterCallsite(item.callsite, item.name))
 			}
 		}
+		if !item.ev.Flag {
+			// A failed test: fold into the callsite's pending run.
+			if pendingUnmatched[item.callsite] == 0 {
+				pendingOrder = append(pendingOrder, item.callsite)
+			}
+			pendingUnmatched[item.callsite] += item.ev.Count
+		} else {
+			flushPendingUnmatched(item.callsite, false)
+			observe(item.callsite, item.ev)
+		}
 		busy += time.Since(start)
+		midGroup = item.ev.Flag && item.ev.WithNext
+		rowsSinceFlush++
+		if r.opts.FlushEveryRows > 0 && rowsSinceFlush >= r.opts.FlushEveryRows {
+			pendingFlush = true
+		}
+		if pendingFlush && !midGroup {
+			flushAll()
+		}
 	}
-	if cerr := r.backend.Close(); err == nil {
-		err = cerr
+	if r.abandoned.Load() {
+		// Simulated crash: whatever the last storage flush persisted is
+		// the record; no trailing rows, no clean close.
+		r.stats.DrainDuration = busy
+		r.done <- err
+		return
+	}
+	flushPendingUnmatched(0, true)
+	if cerr := r.backend.Close(); cerr != nil {
+		latch(cerr)
 	}
 	r.stats.DrainDuration = busy
 	r.done <- err
 }
 
-// Close flushes pending unmatched runs, stops the CDC goroutine and
+// Close stops the CDC goroutine, flushes any pending unmatched run and
 // finalizes the record. It must be called from the rank's own goroutine
 // after the application finishes.
 func (r *Recorder) Close() error {
@@ -170,13 +279,32 @@ func (r *Recorder) Close() error {
 		return errors.New("record: already closed")
 	}
 	r.closed = true
-	for cs, n := range r.pendingUnmatched {
-		if n > 0 {
-			r.enqueue(cs, "", tables.Unmatched(n))
-		}
-	}
 	r.q.Close()
 	return <-r.done
+}
+
+// Abandon simulates the rank dying mid-run: the CDC goroutine drains what
+// was already enqueued but the backend is never flushed or closed, so the
+// record ends at its last storage flush — exactly the state a real crash
+// leaves behind for salvage. Safe to call from any goroutine; returns after
+// the CDC goroutine has exited.
+func (r *Recorder) Abandon() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.abandoned.Store(true)
+	r.q.Close()
+	<-r.done
+}
+
+// Err returns the first backend/IO error the CDC goroutine hit, or nil.
+// After a failure every subsequent MF call also returns it.
+func (r *Recorder) Err() error {
+	if p := r.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Stats returns queue-rate statistics (valid after Close).
@@ -191,15 +319,27 @@ func (r *Recorder) ObserveForBenchmark(ev tables.Event) {
 }
 
 func (r *Recorder) enqueue(cs uint64, name string, ev tables.Event) {
+	if r.Err() != nil {
+		// The backend already failed; producing more rows would only be
+		// encoded into garbage, so stop at the latched prefix.
+		return
+	}
 	// Attach the callsite name to the first row actually enqueued for it.
 	if !r.seenCallsite[cs] {
 		r.seenCallsite[cs] = true
 	} else {
 		name = ""
 	}
-	if !r.q.TryEnqueue(queueItem{callsite: cs, name: name, ev: ev}) {
+	var clock uint64
+	if r.clockNow != nil {
+		clock = r.clockNow()
+	}
+	item := queueItem{callsite: cs, name: name, ev: ev, clock: clock}
+	if !r.q.TryEnqueue(item) {
 		r.stats.EnqueueBlocked++
-		r.q.Enqueue(queueItem{callsite: cs, name: name, ev: ev})
+		if !r.q.Enqueue(item) {
+			return
+		}
 	}
 	r.stats.Enqueued++
 }
@@ -217,12 +357,11 @@ func (r *Recorder) observe(matched bool, sts []simmpi.Status) {
 		cs, name = callsite.ID(3)
 	}
 	if !matched {
-		r.pendingUnmatched[cs]++
+		// One row per failed test; the CDC goroutine folds consecutive
+		// runs into a single counted row (§3.1's count column) so the
+		// aggregate never sits on this thread across a flush cut.
+		r.enqueue(cs, name, tables.Unmatched(1))
 		return
-	}
-	if n := r.pendingUnmatched[cs]; n > 0 {
-		r.enqueue(cs, name, tables.Unmatched(n))
-		r.pendingUnmatched[cs] = 0
 	}
 	for i, st := range sts {
 		withNext := i+1 < len(sts)
@@ -238,16 +377,25 @@ func (r *Recorder) Size() int { return r.next.Size() }
 
 // Send passes through; sends are deterministic (Definition 7).
 func (r *Recorder) Send(dst, tag int, data []byte) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
 	return r.next.Send(dst, tag, data)
 }
 
 // Irecv passes through; recording happens at match time.
 func (r *Recorder) Irecv(src, tag int) (*simmpi.Request, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
 	return r.next.Irecv(src, tag)
 }
 
 // Test records the matching status of a single test.
 func (r *Recorder) Test(req *simmpi.Request) (bool, simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return false, simmpi.Status{}, err
+	}
 	ok, st, err := r.next.Test(req)
 	if err != nil {
 		return ok, st, err
@@ -262,6 +410,9 @@ func (r *Recorder) Test(req *simmpi.Request) (bool, simmpi.Status, error) {
 
 // Testany records like Test over a request set.
 func (r *Recorder) Testany(reqs []*simmpi.Request) (int, bool, simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return -1, false, simmpi.Status{}, err
+	}
 	i, ok, st, err := r.next.Testany(reqs)
 	if err != nil {
 		return i, ok, st, err
@@ -276,6 +427,9 @@ func (r *Recorder) Testany(reqs []*simmpi.Request) (int, bool, simmpi.Status, er
 
 // Testsome records the matched message set, chaining rows via with_next.
 func (r *Recorder) Testsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
 	idxs, sts, err := r.next.Testsome(reqs)
 	if err != nil {
 		return idxs, sts, err
@@ -287,6 +441,9 @@ func (r *Recorder) Testsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, err
 // Testall records either one failed test or the full with_next-chained
 // matched set in request order.
 func (r *Recorder) Testall(reqs []*simmpi.Request) (bool, []simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return false, nil, err
+	}
 	ok, sts, err := r.next.Testall(reqs)
 	if err != nil {
 		return ok, sts, err
@@ -301,6 +458,9 @@ func (r *Recorder) Testall(reqs []*simmpi.Request) (bool, []simmpi.Status, error
 
 // Wait records a single matched event.
 func (r *Recorder) Wait(req *simmpi.Request) (simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return simmpi.Status{}, err
+	}
 	st, err := r.next.Wait(req)
 	if err != nil {
 		return st, err
@@ -311,6 +471,9 @@ func (r *Recorder) Wait(req *simmpi.Request) (simmpi.Status, error) {
 
 // Waitany records a single matched event.
 func (r *Recorder) Waitany(reqs []*simmpi.Request) (int, simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return -1, simmpi.Status{}, err
+	}
 	i, st, err := r.next.Waitany(reqs)
 	if err != nil {
 		return i, st, err
@@ -321,6 +484,9 @@ func (r *Recorder) Waitany(reqs []*simmpi.Request) (int, simmpi.Status, error) {
 
 // Waitsome records the matched message set with with_next chaining.
 func (r *Recorder) Waitsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
 	idxs, sts, err := r.next.Waitsome(reqs)
 	if err != nil {
 		return idxs, sts, err
@@ -332,6 +498,9 @@ func (r *Recorder) Waitsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, err
 // Waitall records every completion as one with_next-chained matched set, in
 // the order the layer below reports statuses (request order).
 func (r *Recorder) Waitall(reqs []*simmpi.Request) ([]simmpi.Status, error) {
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
 	sts, err := r.next.Waitall(reqs)
 	if err != nil {
 		return sts, err

@@ -3,10 +3,18 @@
 // check it is being pointed at a compatible record before starting (wrong
 // rank count or wrong application are caught up front instead of
 // manifesting as replay divergence).
+//
+// The manifest doubles as the directory's commit record: Create writes it
+// atomically (temp file + rename + directory fsync) with Complete unset,
+// and Finalize flips Complete after every rank closed cleanly. A crash at
+// any point therefore leaves either no manifest or one that says the run
+// did not finish — Open refuses such a directory and points the operator at
+// Salvage instead of silently replaying a torn record.
 package recorddir
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,8 +25,14 @@ import (
 // ManifestName is the metadata file's name inside a record directory.
 const ManifestName = "manifest.json"
 
-// ManifestVersion guards against format drift.
-const ManifestVersion = 1
+// ManifestVersion guards against format drift. v2 added the Complete and
+// Salvaged markers (and rides the record-format v2 bump).
+const ManifestVersion = 2
+
+// ErrIncomplete marks a record directory whose run never finished cleanly —
+// the manifest exists but Complete was never set. Salvage can usually
+// recover a consistent prefix.
+var ErrIncomplete = errors.New("recorddir: record incomplete (crashed run?)")
 
 // Manifest describes a recorded run.
 type Manifest struct {
@@ -31,6 +45,12 @@ type Manifest struct {
 	// Params carries application parameters for the replayer's operator
 	// to cross-check (free form).
 	Params map[string]string `json:"params,omitempty"`
+	// Complete is set by Finalize once every rank's record closed
+	// cleanly. Open refuses directories without it.
+	Complete bool `json:"complete"`
+	// Salvaged marks a directory produced by Salvage: a consistent prefix
+	// of a crashed run, replayable up to the crash frontier.
+	Salvaged bool `json:"salvaged,omitempty"`
 }
 
 // RankPath returns the record file path for a rank.
@@ -38,7 +58,49 @@ func RankPath(dir string, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("rank%04d.cdc", rank))
 }
 
-// Create prepares dir (creating it if needed) and writes the manifest.
+// writeManifest atomically replaces the manifest: the bytes land in a temp
+// file first, the rename is atomic on POSIX filesystems, and the directory
+// fsync makes the rename itself durable. A crash at any point leaves either
+// the old manifest or the new one, never a torn file.
+func writeManifest(dir string, m Manifest) error {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := tmp.Write(append(buf, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Create prepares dir (creating it if needed) and writes the manifest with
+// Complete unset; call Finalize after every rank's record closed cleanly.
 // Existing rank files from a previous record are removed so a shorter
 // re-record cannot leave stale ranks behind.
 func Create(dir string, m Manifest) error {
@@ -46,6 +108,7 @@ func Create(dir string, m Manifest) error {
 		return fmt.Errorf("recorddir: manifest needs a positive rank count, got %d", m.Ranks)
 	}
 	m.Version = ManifestVersion
+	m.Complete = false
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -58,11 +121,18 @@ func Create(dir string, m Manifest) error {
 			return err
 		}
 	}
-	buf, err := json.MarshalIndent(m, "", "  ")
+	return writeManifest(dir, m)
+}
+
+// Finalize marks the record complete. Call it only after every rank's
+// record file has been written and closed cleanly.
+func Finalize(dir string) error {
+	m, err := readManifest(dir)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), append(buf, '\n'), 0o644)
+	m.Complete = true
+	return writeManifest(dir, m)
 }
 
 // CreateRankFile opens the rank's record file for writing.
@@ -70,9 +140,7 @@ func CreateRankFile(dir string, rank int) (*os.File, error) {
 	return os.Create(RankPath(dir, rank))
 }
 
-// Open reads and validates a record directory's manifest: version, rank
-// count, optional app name, and the presence of every rank file.
-func Open(dir string, wantApp string, wantRanks int) (Manifest, error) {
+func readManifest(dir string) (Manifest, error) {
 	var m Manifest
 	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -83,6 +151,20 @@ func Open(dir string, wantApp string, wantRanks int) (Manifest, error) {
 	}
 	if m.Version != ManifestVersion {
 		return m, fmt.Errorf("recorddir: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	return m, nil
+}
+
+// Open reads and validates a record directory's manifest: version,
+// completeness, rank count, optional app name, and the presence of every
+// rank file. Directories of crashed runs fail with ErrIncomplete.
+func Open(dir string, wantApp string, wantRanks int) (Manifest, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return m, err
+	}
+	if !m.Complete {
+		return m, fmt.Errorf("%w: %s (run cdcinspect -salvage to recover a prefix)", ErrIncomplete, dir)
 	}
 	if wantApp != "" && m.App != wantApp {
 		return m, fmt.Errorf("recorddir: record is of app %q, not %q", m.App, wantApp)

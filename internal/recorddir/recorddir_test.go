@@ -1,6 +1,7 @@
 package recorddir
 
 import (
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -41,6 +42,9 @@ func TestCreateOpenRoundTrip(t *testing.T) {
 	for r := 0; r < 3; r++ {
 		writeRank(t, dir, r, 5)
 	}
+	if err := Finalize(dir); err != nil {
+		t.Fatal(err)
+	}
 	got, err := Open(dir, "mcb", 3)
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +68,9 @@ func TestOpenRejectsMismatches(t *testing.T) {
 	}
 	writeRank(t, dir, 0, 1)
 	writeRank(t, dir, 1, 1)
+	if err := Finalize(dir); err != nil {
+		t.Fatal(err)
+	}
 
 	if _, err := Open(dir, "jacobi", 2); err == nil || !strings.Contains(err.Error(), "app") {
 		t.Fatalf("wrong-app err = %v", err)
@@ -82,8 +89,59 @@ func TestOpenDetectsMissingRankFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	writeRank(t, dir, 0, 1) // rank 1 missing
+	if err := Finalize(dir); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Open(dir, "", 0); err == nil || !strings.Contains(err.Error(), "rank 1") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestOpenRefusesIncompleteRecord covers the crash window between Create
+// and Finalize: however far the record run got — manifest only, or all rank
+// files written but not finalized — Open must refuse the directory.
+func TestOpenRefusesIncompleteRecord(t *testing.T) {
+	dir := t.TempDir()
+	if err := Create(dir, Manifest{Ranks: 1, App: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "", 0); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("fresh directory: err = %v, want ErrIncomplete", err)
+	}
+	writeRank(t, dir, 0, 3)
+	if _, err := Open(dir, "", 0); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("all ranks written, not finalized: err = %v, want ErrIncomplete", err)
+	}
+	if err := Finalize(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "", 0); err != nil {
+		t.Fatalf("finalized directory refused: %v", err)
+	}
+}
+
+// TestCrashDuringCreateNeverYieldsCompleteManifest simulates the
+// fault-injected crash the manifest protocol must survive: a record run
+// that dies before its first flush. Whatever partial state exists on disk —
+// including a torn temp manifest left beside the real one — Open must not
+// accept the directory as a complete record.
+func TestCrashDuringCreateNeverYieldsCompleteManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := Create(dir, Manifest{Ranks: 2, App: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash point: rank files created but never written or closed.
+	f, err := CreateRankFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// A torn manifest temp file from an interrupted writeManifest.
+	if err := os.WriteFile(dir+"/"+ManifestName+".tmp123", []byte(`{"version":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "", 0); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("crashed record opened as complete: err = %v", err)
 	}
 }
 

@@ -1,0 +1,256 @@
+package recorddir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cdcreplay/internal/cdcformat"
+	"cdcreplay/internal/core"
+)
+
+// Salvage recovers a replayable prefix from the record directory of a
+// crashed run.
+//
+// Per rank, the unit of recovery is the flush-point segment: frames between
+// consecutive flush-point marks. A mark is written only when the encoder
+// flushed every callsite stream through it, so the segments before a mark
+// are a complete cut of the rank's event history; frames past the last
+// CRC-valid mark (torn by the crash) are discarded.
+//
+// Per-rank prefixes are then trimmed to a mutually consistent frontier.
+// Let C[s] be the largest received-message clock in rank s's kept prefix
+// (infinite when s's whole record survived intact). Any send s made with
+// piggyback clock ≤ C[s] necessarily precedes the kept receive achieving
+// C[s] — Lamport clocks are monotone within a rank — so a prefix replay of
+// s deterministically regenerates it. A kept chunk of rank r is therefore
+// only replayable if every epoch-line entry (sender s, clock c) satisfies
+// c ≤ C[s]; segments violating this are trimmed, which can lower C[r] and
+// cascade, so the trim iterates to a fixed point (it terminates: kept
+// prefixes only shrink).
+//
+// The salvaged directory is written to outDir with Complete and Salvaged
+// set; replayers see Salvaged and switch to replay-to-crash-point mode.
+func Salvage(dir, outDir string) (*SalvageReport, error) {
+	if dir == outDir {
+		return nil, errors.New("recorddir: salvage output must be a different directory")
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	n := m.Ranks
+	segs := make([][]*segment, n)
+	report := &SalvageReport{Ranks: make([]RankSalvage, n)}
+	clean := make([]bool, n)
+	for r := 0; r < n; r++ {
+		rs := &report.Ranks[r]
+		rs.Rank = r
+		segs[r], clean[r], rs.Damage = readSegments(RankPath(dir, r))
+		rs.Truncated = !clean[r]
+		rs.SegmentsTotal = len(segs[r])
+		for _, s := range segs[r] {
+			rs.EventsTotal += s.events()
+		}
+	}
+
+	// Fixed-point trim to a consistent cross-rank frontier.
+	keep := make([]int, n)
+	frontiers := make([]uint64, n)
+	for r := 0; r < n; r++ {
+		keep[r] = len(segs[r])
+		frontiers[r] = frontier(segs[r], keep[r], clean[r])
+	}
+	for changed := true; changed; {
+		changed = false
+		for r := 0; r < n; r++ {
+			if v := firstViolation(segs[r], keep[r], frontiers); v < keep[r] {
+				keep[r] = v
+				frontiers[r] = frontier(segs[r], keep[r], clean[r])
+				changed = true
+			}
+		}
+	}
+
+	// Write the salvaged directory.
+	if err := Create(outDir, m); err != nil {
+		return nil, err
+	}
+	for r := 0; r < n; r++ {
+		rs := &report.Ranks[r]
+		rs.SegmentsKept = keep[r]
+		rs.Frontier = frontiers[r]
+		for _, s := range segs[r][:keep[r]] {
+			rs.EventsKept += s.events()
+		}
+		if err := writeRankPrefix(outDir, r, segs[r][:keep[r]]); err != nil {
+			return nil, fmt.Errorf("recorddir: writing salvaged rank %d: %w", r, err)
+		}
+	}
+	m.Complete = true
+	m.Salvaged = true
+	if err := writeManifest(outDir, m); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// SalvageReport describes what Salvage recovered.
+type SalvageReport struct {
+	Ranks []RankSalvage
+}
+
+// Events returns the total salvaged matched-event count across ranks.
+func (r *SalvageReport) Events() (kept, total uint64) {
+	for _, rs := range r.Ranks {
+		kept += rs.EventsKept
+		total += rs.EventsTotal
+	}
+	return kept, total
+}
+
+// RankSalvage describes one rank's salvage outcome.
+type RankSalvage struct {
+	Rank int
+	// Truncated reports the rank's record file was damaged or missing;
+	// Damage describes how.
+	Truncated bool
+	Damage    string
+	// SegmentsKept of SegmentsTotal flush-point segments survived the
+	// CRC scan and the consistency trim.
+	SegmentsKept, SegmentsTotal int
+	// EventsKept of EventsTotal matched events are in the kept prefix.
+	EventsKept, EventsTotal uint64
+	// Frontier is the rank's kept-clock frontier C[r]; math.MaxUint64
+	// means the whole record survived intact.
+	Frontier uint64
+}
+
+// segment is one flush-point segment: the frames up to and including a
+// flush mark, with its chunk frames also decoded for frontier math.
+// flushClock is the writing rank's Lamport clock stamped into the closing
+// mark — a lower bound on its clock at the cut.
+type segment struct {
+	frames     []*core.Frame
+	chunks     []*cdcformat.Chunk
+	flushClock uint64
+}
+
+func (s *segment) events() uint64 {
+	var n uint64
+	for _, c := range s.chunks {
+		n += c.NumMatched
+	}
+	return n
+}
+
+// readSegments scans one record file into complete flush-point segments,
+// dropping any trailing frames not sealed by a mark. clean reports the file
+// ended exactly at a mark with an intact gzip stream; damage describes the
+// failure otherwise.
+func readSegments(path string) (segs []*segment, clean bool, damage string) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Sprintf("open: %v", err)
+	}
+	defer f.Close()
+	fr, err := core.NewFrameReader(f)
+	if err != nil {
+		return nil, false, err.Error()
+	}
+	defer fr.Close()
+	cur := &segment{}
+	for {
+		frame, err := fr.Next()
+		if err == io.EOF {
+			return segs, len(cur.frames) == 0, ""
+		}
+		if err != nil {
+			return segs, false, err.Error()
+		}
+		cur.frames = append(cur.frames, frame)
+		if frame.Chunk != nil {
+			cur.chunks = append(cur.chunks, frame.Chunk)
+		}
+		if frame.Flush {
+			cur.flushClock = frame.FlushClock
+			segs = append(segs, cur)
+			cur = &segment{}
+		}
+	}
+}
+
+// frontier computes C[r] over the kept prefix: the rank's own clock at the
+// last kept flush mark (every send with clock ≤ C[r] strictly precedes the
+// cut, since the clock ticks at each send), or MaxUint64 for a fully intact
+// record (its replay regenerates every send, recorded receives and the
+// deterministic continuation alike). Received epoch clocks — a weaker lower
+// bound on the same clock — are folded in for records whose marks carry no
+// sample.
+func frontier(segs []*segment, keep int, clean bool) uint64 {
+	if clean && keep == len(segs) {
+		return math.MaxUint64
+	}
+	var c uint64
+	for _, s := range segs[:keep] {
+		if s.flushClock > c {
+			c = s.flushClock
+		}
+		for _, ch := range s.chunks {
+			for _, e := range ch.EpochLine {
+				if e.Clock > c {
+					c = e.Clock
+				}
+			}
+		}
+	}
+	return c
+}
+
+// firstViolation returns the index of the first kept segment holding a
+// chunk that references a sender clock beyond that sender's frontier, or
+// keep when the whole kept prefix is consistent.
+func firstViolation(segs []*segment, keep int, frontiers []uint64) int {
+	for i, s := range segs[:keep] {
+		for _, ch := range s.chunks {
+			for _, e := range ch.EpochLine {
+				if int(e.Rank) < len(frontiers) && e.Clock > frontiers[e.Rank] {
+					return i
+				}
+			}
+		}
+	}
+	return keep
+}
+
+// writeRankPrefix re-emits the kept frames verbatim into a fresh record
+// file (re-framed, so the new file is itself cleanly closed).
+func writeRankPrefix(dir string, rank int, segs []*segment) error {
+	f, err := CreateRankFile(dir, rank)
+	if err != nil {
+		return err
+	}
+	fw, err := core.NewFrameWriter(f, 0, false)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var lastClock uint64
+	for _, s := range segs {
+		for _, frame := range s.frames {
+			if err := fw.WriteFrame(frame.Kind, frame.Payload); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		lastClock = s.flushClock
+	}
+	if err := fw.Close(lastClock); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -48,6 +48,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"cdcreplay/internal/callsite"
@@ -95,6 +96,21 @@ type Options struct {
 	// guessing while the true message is still in transit. Default 50ms;
 	// negative disables optimism.
 	OptimisticDelay time.Duration
+	// LiveAfterExhausted changes what happens when the record runs out —
+	// the normal state of a record salvaged from a crashed run. Instead
+	// of failing with ErrExhausted, the replayer hands control back to
+	// the live application: MF calls at an exhausted (or never-recorded)
+	// callsite match messages in this run's natural arrival order, with
+	// the lamport clock still ticking. The run up to the crash frontier
+	// is exact replay; past it, execution continues non-deterministically
+	// like a plain run. Live reports whether and where the handback
+	// happened.
+	LiveAfterExhausted bool
+	// OnRelease, when set, is called for every receive event handed to the
+	// application, in the order the application observes them — replayed
+	// releases first, live-phase deliveries after. Tests and tracing tools
+	// use it to compare observed orders across runs.
+	OnRelease func(st simmpi.Status)
 }
 
 func (o *Options) fill() {
@@ -139,6 +155,11 @@ type Replayer struct {
 	// still outstanding below (their own binding is yet to arrive).
 	appDone map[*simmpi.Request]bool
 
+	// liveNotes records why and where each callsite went live
+	// (LiveAfterExhausted mode); non-empty means the crash frontier was
+	// crossed.
+	liveNotes []string
+
 	stats Stats
 }
 
@@ -157,6 +178,9 @@ type Stats struct {
 	// ChunksVerified counts completed chunks that passed the monotone
 	// rank→key check.
 	ChunksVerified uint64
+	// LiveReleases counts receive events delivered after the record was
+	// exhausted (LiveAfterExhausted mode), in natural arrival order.
+	LiveReleases uint64
 }
 
 var _ simmpi.MPI = (*Replayer)(nil)
@@ -208,6 +232,9 @@ type stream struct {
 	ci     int // next chunk index to load
 	loaded bool
 	err    error
+	// live marks the callsite as past its recorded events: MF calls pass
+	// messages through in natural arrival order (LiveAfterExhausted).
+	live bool
 
 	// specs are the receive specs seen in MF calls at this callsite; a
 	// pooled message may only be collected here if some spec accepts it.
@@ -735,9 +762,192 @@ func (rp *Replayer) stream(skip int) (*stream, error) {
 	}
 	s, ok := rp.streams[cs]
 	if !ok {
+		if rp.opts.LiveAfterExhausted {
+			// The application reached a callsite the (salvaged) record never
+			// saw — code past the crash point. Serve it live from now on.
+			s = &stream{name: name}
+			rp.goLive(s, "has no recorded stream (past the crash point)")
+			rp.streams[cs] = s
+			return s, nil
+		}
 		return nil, fmt.Errorf("%w: no recorded stream for MF callsite %s", ErrDiverged, name)
 	}
 	return s, nil
+}
+
+// goLive switches a callsite to live pass-through and records why.
+func (rp *Replayer) goLive(s *stream, why string) {
+	s.live = true
+	rp.liveNotes = append(rp.liveNotes,
+		fmt.Sprintf("callsite %s %s after %d replayed event(s); continuing live", s.name, why, rp.stats.Released))
+}
+
+// ensureOrLive advances the stream cursor, converting exhaustion into live
+// mode when the option allows it.
+func (rp *Replayer) ensureOrLive(s *stream) (bool, error) {
+	if s.live {
+		return true, nil
+	}
+	err := s.ensure()
+	if err == nil {
+		return false, nil
+	}
+	if rp.opts.LiveAfterExhausted && errors.Is(err, ErrExhausted) {
+		rp.goLive(s, "exhausted its recorded stream")
+		return true, nil
+	}
+	return false, err
+}
+
+// Live reports whether the replayer crossed the crash frontier into live
+// execution, and where.
+func (rp *Replayer) Live() (bool, string) {
+	if len(rp.liveNotes) == 0 {
+		return false, ""
+	}
+	return true, strings.Join(rp.liveNotes, "; ")
+}
+
+// liveDeliver hands pooled messages to the application in harvest order —
+// the live phase has no record to consult, so natural arrival order is the
+// execution. Up to limit messages (limit < 0: no bound) are assigned to
+// compatible unused slots of reqs; the lamport clock ticks per delivery so
+// piggybacked clocks stay meaningful for any rank still replaying.
+func (rp *Replayer) liveDeliver(reqs []*simmpi.Request, limit int) ([]int, []simmpi.Status) {
+	used := make([]bool, len(reqs))
+	var idxs []int
+	var sts []simmpi.Status
+	kept := rp.pool[:0]
+	for _, p := range rp.pool {
+		if limit >= 0 && len(idxs) >= limit {
+			kept = append(kept, p)
+			continue
+		}
+		slot := -1
+		for i, r := range reqs { // own binding first
+			if r == p.req && !used[i] && !rp.appDone[r] {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			for i, r := range reqs {
+				if r == nil || used[i] || rp.appDone[r] {
+					continue
+				}
+				if r.Accepts(p.st.Source, p.st.Tag) {
+					slot = i
+					break
+				}
+			}
+		}
+		if slot < 0 {
+			kept = append(kept, p)
+			continue
+		}
+		used[slot] = true
+		idxs = append(idxs, slot)
+		sts = append(sts, p.st)
+		rp.finishSlot(reqs[slot])
+		rp.next.TickReceive(p.st.Clock)
+		if rp.opts.OnRelease != nil {
+			rp.opts.OnRelease(p.st)
+		}
+	}
+	rp.pool = kept
+	rp.stats.LiveReleases += uint64(len(idxs))
+	return idxs, sts
+}
+
+// liveTestall is the all-or-nothing live Testall: every slot must be
+// satisfiable by a distinct pooled message before anything is delivered.
+func (rp *Replayer) liveTestall(reqs []*simmpi.Request) (bool, []simmpi.Status, error) {
+	claimed := make([]int, len(reqs))
+	usedPool := make([]bool, len(rp.pool))
+	for i, r := range reqs {
+		if r == nil || rp.appDone[r] {
+			return false, nil, fmt.Errorf("replay: live Testall slot %d already consumed", i)
+		}
+		found := -1
+		for pi, p := range rp.pool { // own binding first
+			if !usedPool[pi] && p.req == r {
+				found = pi
+				break
+			}
+		}
+		if found < 0 {
+			for pi, p := range rp.pool {
+				if !usedPool[pi] && r.Accepts(p.st.Source, p.st.Tag) {
+					found = pi
+					break
+				}
+			}
+		}
+		if found < 0 {
+			return false, nil, nil
+		}
+		usedPool[found] = true
+		claimed[i] = found
+	}
+	msgs := make([]pooled, len(claimed))
+	for i, pi := range claimed {
+		msgs[i] = rp.pool[pi]
+	}
+	kept := rp.pool[:0]
+	for pi, p := range rp.pool {
+		if !usedPool[pi] {
+			kept = append(kept, p)
+		}
+	}
+	rp.pool = kept
+	sts := make([]simmpi.Status, len(reqs))
+	for i, m := range msgs { // deliver in request order
+		sts[i] = m.st
+		rp.finishSlot(reqs[i])
+		rp.next.TickReceive(m.st.Clock)
+		if rp.opts.OnRelease != nil {
+			rp.opts.OnRelease(m.st)
+		}
+	}
+	rp.stats.LiveReleases += uint64(len(reqs))
+	return true, sts, nil
+}
+
+// liveWait blocks in live mode until limit deliveries (all=false) or every
+// slot (all=true) completes, polling below.
+func (rp *Replayer) liveWait(reqs []*simmpi.Request, limit int, all bool, what string) ([]int, []simmpi.Status, error) {
+	deadline := time.Now().Add(rp.opts.Timeout)
+	spins := 0
+	for {
+		if _, err := rp.pollBelow(); err != nil {
+			return nil, nil, err
+		}
+		if all {
+			ok, sts, err := rp.liveTestall(reqs)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				idxs := make([]int, len(reqs))
+				for i := range idxs {
+					idxs[i] = i
+				}
+				return idxs, sts, nil
+			}
+		} else {
+			idxs, sts := rp.liveDeliver(reqs, limit)
+			if len(sts) > 0 {
+				return idxs, sts, nil
+			}
+		}
+		spins++
+		if spins%64 == 0 {
+			runtime.Gosched()
+		}
+		if spins%1024 == 0 && time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("%w: live-phase %s past the record's end (pool %d)", ErrStalled, what, len(rp.pool))
+		}
+	}
 }
 
 // awaitGroup blocks until the whole with_next group at the stream cursor is
@@ -898,6 +1108,9 @@ func (rp *Replayer) release(s *stream, reqs []*simmpi.Request, group []pooled, o
 		sts[gi] = m.st
 		rp.finishSlot(reqs[slot])
 		rp.next.TickReceive(m.st.Clock)
+		if rp.opts.OnRelease != nil {
+			rp.opts.OnRelease(m.st)
+		}
 	}
 	rp.stats.Released += uint64(len(group))
 	s.t += len(group)
@@ -919,10 +1132,20 @@ func (rp *Replayer) matchedCall(s *stream, reqs []*simmpi.Request, ordered bool)
 	return rp.release(s, reqs, group, ordered)
 }
 
-// testFamily is the shared body of Test/Testany/Testsome.
-func (rp *Replayer) testFamily(s *stream, reqs []*simmpi.Request) (bool, []int, []simmpi.Status, error) {
-	if err := s.ensure(); err != nil {
+// testFamily is the shared body of Test/Testany/Testsome. liveLimit bounds
+// how many events a live-phase call may deliver (Test/Testany complete at
+// most one; Testsome passes -1).
+func (rp *Replayer) testFamily(s *stream, reqs []*simmpi.Request, liveLimit int) (bool, []int, []simmpi.Status, error) {
+	live, err := rp.ensureOrLive(s)
+	if err != nil {
 		return false, nil, nil, err
+	}
+	if live {
+		if _, err := rp.pollBelow(); err != nil {
+			return false, nil, nil, err
+		}
+		idxs, sts := rp.liveDeliver(reqs, liveLimit)
+		return len(sts) > 0, idxs, sts, nil
 	}
 	s.learnSpecs(reqs)
 	if _, err := rp.pollBelow(); err != nil {
@@ -940,10 +1163,16 @@ func (rp *Replayer) testFamily(s *stream, reqs []*simmpi.Request) (bool, []int, 
 	return err == nil, idxs, sts, err
 }
 
-// waitFamily is the shared body of Wait/Waitany/Waitsome/Waitall.
-func (rp *Replayer) waitFamily(s *stream, reqs []*simmpi.Request, ordered bool, what string) ([]int, []simmpi.Status, error) {
-	if err := s.ensure(); err != nil {
+// waitFamily is the shared body of Wait/Waitany/Waitsome/Waitall. liveLimit
+// bounds a live-phase call's deliveries (Wait/Waitany 1, Waitsome -1);
+// ordered (Waitall) makes the live phase all-or-nothing too.
+func (rp *Replayer) waitFamily(s *stream, reqs []*simmpi.Request, ordered bool, what string, liveLimit int) ([]int, []simmpi.Status, error) {
+	live, err := rp.ensureOrLive(s)
+	if err != nil {
 		return nil, nil, err
+	}
+	if live {
+		return rp.liveWait(reqs, liveLimit, ordered, what)
 	}
 	s.learnSpecs(reqs)
 	if s.unmatchedPending() {
@@ -958,7 +1187,7 @@ func (rp *Replayer) Test(req *simmpi.Request) (bool, simmpi.Status, error) {
 	if err != nil {
 		return false, simmpi.Status{}, err
 	}
-	ok, _, sts, err := rp.testFamily(s, []*simmpi.Request{req})
+	ok, _, sts, err := rp.testFamily(s, []*simmpi.Request{req}, 1)
 	if err != nil || !ok {
 		return false, simmpi.Status{}, err
 	}
@@ -974,7 +1203,7 @@ func (rp *Replayer) Testany(reqs []*simmpi.Request) (int, bool, simmpi.Status, e
 	if err != nil {
 		return -1, false, simmpi.Status{}, err
 	}
-	ok, idxs, sts, err := rp.testFamily(s, reqs)
+	ok, idxs, sts, err := rp.testFamily(s, reqs, 1)
 	if err != nil || !ok {
 		return -1, false, simmpi.Status{}, err
 	}
@@ -990,7 +1219,7 @@ func (rp *Replayer) Testsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, er
 	if err != nil {
 		return nil, nil, err
 	}
-	ok, idxs, sts, err := rp.testFamily(s, reqs)
+	ok, idxs, sts, err := rp.testFamily(s, reqs, -1)
 	if err != nil || !ok {
 		return nil, nil, err
 	}
@@ -1007,8 +1236,15 @@ func (rp *Replayer) Testall(reqs []*simmpi.Request) (bool, []simmpi.Status, erro
 	if err != nil {
 		return false, nil, err
 	}
-	if err := s.ensure(); err != nil {
+	live, err := rp.ensureOrLive(s)
+	if err != nil {
 		return false, nil, err
+	}
+	if live {
+		if _, err := rp.pollBelow(); err != nil {
+			return false, nil, err
+		}
+		return rp.liveTestall(reqs)
 	}
 	s.learnSpecs(reqs)
 	if _, err := rp.pollBelow(); err != nil {
@@ -1041,7 +1277,7 @@ func (rp *Replayer) Wait(req *simmpi.Request) (simmpi.Status, error) {
 	if err != nil {
 		return simmpi.Status{}, err
 	}
-	_, sts, err := rp.waitFamily(s, []*simmpi.Request{req}, false, "Wait")
+	_, sts, err := rp.waitFamily(s, []*simmpi.Request{req}, false, "Wait", 1)
 	if err != nil {
 		return simmpi.Status{}, err
 	}
@@ -1057,7 +1293,7 @@ func (rp *Replayer) Waitany(reqs []*simmpi.Request) (int, simmpi.Status, error) 
 	if err != nil {
 		return -1, simmpi.Status{}, err
 	}
-	idxs, sts, err := rp.waitFamily(s, reqs, false, "Waitany")
+	idxs, sts, err := rp.waitFamily(s, reqs, false, "Waitany", 1)
 	if err != nil {
 		return -1, simmpi.Status{}, err
 	}
@@ -1073,7 +1309,7 @@ func (rp *Replayer) Waitsome(reqs []*simmpi.Request) ([]int, []simmpi.Status, er
 	if err != nil {
 		return nil, nil, err
 	}
-	return rp.waitFamily(s, reqs, false, "Waitsome")
+	return rp.waitFamily(s, reqs, false, "Waitsome", -1)
 }
 
 // Waitall replays a wait for every request. The record's with_next group
@@ -1087,7 +1323,7 @@ func (rp *Replayer) Waitall(reqs []*simmpi.Request) ([]simmpi.Status, error) {
 	if err != nil {
 		return nil, err
 	}
-	idxs, sts, err := rp.waitFamily(s, reqs, true, "Waitall")
+	idxs, sts, err := rp.waitFamily(s, reqs, true, "Waitall", -1)
 	if err != nil {
 		return nil, err
 	}
@@ -1105,8 +1341,13 @@ func (rp *Replayer) Waitall(reqs []*simmpi.Request) ([]simmpi.Status, error) {
 func (rp *Replayer) Stats() Stats { return rp.stats }
 
 // Verify reports leftover state after the application finished: unreplayed
-// record events or unreleased pooled messages.
+// record events or unreleased pooled messages. Once the replay crossed into
+// live execution (LiveAfterExhausted) the suffix is non-deterministic and
+// leftover state is expected, so Verify reports nothing.
 func (rp *Replayer) Verify() error {
+	if live, _ := rp.Live(); live {
+		return nil
+	}
 	var problems []error
 	for _, s := range rp.streams {
 		remaining := 0

@@ -3,6 +3,7 @@ package simmpi
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +27,9 @@ type collectives struct {
 	// Gather/Allgather. Both are (re)built by the completing rank.
 	payload  []byte
 	gathered []float64
+	// aborted points at the world's abort flag; ranks blocked in a
+	// collective observe it instead of waiting forever for a killed rank.
+	aborted *atomic.Bool
 }
 
 func newCollectives(n int) *collectives {
@@ -96,6 +100,9 @@ func (c *collectives) sync(rank int, v float64, op ReduceOp, reduce bool, deadli
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.aborted != nil && c.aborted.Load() {
+		return 0, ErrAborted
+	}
 	gen := c.gen
 	if c.arrived == 0 {
 		c.op = op
@@ -118,6 +125,9 @@ func (c *collectives) sync(rank int, v float64, op ReduceOp, reduce bool, deadli
 		return c.result, nil
 	}
 	for c.gen == gen {
+		if c.aborted != nil && c.aborted.Load() {
+			return 0, ErrAborted
+		}
 		if time.Since(start) > deadline {
 			return 0, ErrTimeout
 		}

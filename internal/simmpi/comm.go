@@ -44,6 +44,9 @@ func (c *Comm) Size() int { return c.world.n }
 
 // Send copies data and deposits it in dst's mailbox.
 func (c *Comm) Send(dst, tag int, data []byte) error {
+	if err := c.checkFault(); err != nil {
+		return err
+	}
 	if dst < 0 || dst >= c.world.n {
 		return fmt.Errorf("simmpi: send to invalid rank %d", dst)
 	}
@@ -59,6 +62,9 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 
 // Irecv posts a non-blocking receive.
 func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if err := c.checkFault(); err != nil {
+		return nil, err
+	}
 	if src != AnySource && (src < 0 || src >= c.world.n) {
 		return nil, fmt.Errorf("simmpi: receive from invalid rank %d", src)
 	}
@@ -111,6 +117,9 @@ func (c *Comm) statusOf(req *Request) Status {
 
 // Test checks one request (MPI_Test).
 func (c *Comm) Test(req *Request) (bool, Status, error) {
+	if err := c.checkFault(); err != nil {
+		return false, Status{}, err
+	}
 	if req.consumed {
 		return false, Status{}, ErrConsumed
 	}
@@ -126,6 +135,9 @@ func (c *Comm) Test(req *Request) (bool, Status, error) {
 // Among several matched requests it completes the one whose message arrived
 // first.
 func (c *Comm) Testany(reqs []*Request) (int, bool, Status, error) {
+	if err := c.checkFault(); err != nil {
+		return -1, false, Status{}, err
+	}
 	c.poll()
 	best := -1
 	for i, req := range reqs {
@@ -154,6 +166,9 @@ func earlier(a, b *Request) bool {
 // Testsome completes every matched request in the set (MPI_Testsome),
 // in message-arrival order.
 func (c *Comm) Testsome(reqs []*Request) ([]int, []Status, error) {
+	if err := c.checkFault(); err != nil {
+		return nil, nil, err
+	}
 	c.poll()
 	return c.gatherMatched(reqs)
 }
@@ -182,6 +197,9 @@ func (c *Comm) gatherMatched(reqs []*Request) ([]int, []Status, error) {
 
 // Testall completes all requests if every one is matched (MPI_Testall).
 func (c *Comm) Testall(reqs []*Request) (bool, []Status, error) {
+	if err := c.checkFault(); err != nil {
+		return false, nil, err
+	}
 	c.poll()
 	for _, req := range reqs {
 		if req.consumed {
@@ -204,6 +222,9 @@ func (c *Comm) spinWait(cond func() bool) error {
 	start := time.Now()
 	spins := 0
 	for !cond() {
+		if c.world.aborted.Load() {
+			return c.checkFault()
+		}
 		spins++
 		if spins%64 == 0 {
 			runtime.Gosched()
@@ -218,6 +239,9 @@ func (c *Comm) spinWait(cond func() bool) error {
 
 // Wait blocks until the request completes (MPI_Wait).
 func (c *Comm) Wait(req *Request) (Status, error) {
+	if err := c.checkFault(); err != nil {
+		return Status{}, err
+	}
 	if req.consumed {
 		return Status{}, ErrConsumed
 	}
@@ -280,16 +304,25 @@ func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
 
 // Barrier blocks until every rank arrives.
 func (c *Comm) Barrier() error {
+	if err := c.checkFault(); err != nil {
+		return err
+	}
 	return c.world.coll.barrier(c.deadline)
 }
 
 // Allreduce reduces v across all ranks with op.
 func (c *Comm) Allreduce(v float64, op ReduceOp) (float64, error) {
+	if err := c.checkFault(); err != nil {
+		return 0, err
+	}
 	return c.world.coll.allreduce(c.rank, v, op, c.deadline)
 }
 
 // Reduce reduces v across all ranks; only root sees the result.
 func (c *Comm) Reduce(v float64, op ReduceOp, root int) (float64, error) {
+	if err := c.checkFault(); err != nil {
+		return 0, err
+	}
 	if root < 0 || root >= c.world.n {
 		return 0, fmt.Errorf("simmpi: reduce to invalid root %d", root)
 	}
@@ -305,6 +338,9 @@ func (c *Comm) Reduce(v float64, op ReduceOp, root int) (float64, error) {
 
 // Bcast distributes root's data to every rank.
 func (c *Comm) Bcast(data []byte, root int) ([]byte, error) {
+	if err := c.checkFault(); err != nil {
+		return nil, err
+	}
 	if root < 0 || root >= c.world.n {
 		return nil, fmt.Errorf("simmpi: bcast from invalid root %d", root)
 	}
@@ -313,6 +349,9 @@ func (c *Comm) Bcast(data []byte, root int) ([]byte, error) {
 
 // Gather collects every rank's v at root.
 func (c *Comm) Gather(v float64, root int) ([]float64, error) {
+	if err := c.checkFault(); err != nil {
+		return nil, err
+	}
 	if root < 0 || root >= c.world.n {
 		return nil, fmt.Errorf("simmpi: gather to invalid root %d", root)
 	}
@@ -328,5 +367,8 @@ func (c *Comm) Gather(v float64, root int) ([]float64, error) {
 
 // Allgather collects every rank's v at every rank.
 func (c *Comm) Allgather(v float64) ([]float64, error) {
+	if err := c.checkFault(); err != nil {
+		return nil, err
+	}
 	return c.world.coll.gather(c.rank, v, c.deadline)
 }

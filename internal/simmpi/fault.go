@@ -1,0 +1,148 @@
+package simmpi
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// Fault injection: the noise model's failure dimension. A FaultPlan makes a
+// chosen rank die at a chosen point in its own event stream, which is the
+// scenario the CDC record exists to debug — a run that crashes
+// non-deterministically after hours. Because the trigger counts the rank's
+// own receive completions (exactly the events CDC records), the crash point
+// is expressed in the same coordinate system the salvage and partial-replay
+// machinery operates in, and tests can place it deterministically.
+
+// ErrKilled is returned from every MPI call a fault-killed rank makes at or
+// after its kill point. The rank's tool stack should unwind as if the
+// process died (e.g. abandon its recorder without a clean close).
+var ErrKilled = errors.New("simmpi: rank killed by fault plan")
+
+// ErrAborted is returned from MPI calls on surviving ranks once some rank
+// has been killed, so the world unwinds instead of deadlocking on messages
+// the dead rank will never send.
+var ErrAborted = errors.New("simmpi: world aborted (a rank was killed)")
+
+// ErrInjectedIO is the default error a FaultyWriter reports once its byte
+// budget is exhausted, standing in for a dying disk under the recorder.
+var ErrInjectedIO = errors.New("simmpi: injected I/O failure")
+
+// FaultPlan schedules a deterministic rank failure.
+type FaultPlan struct {
+	// KillRank is the rank to kill. Use a negative rank for a plan that
+	// kills nobody.
+	KillRank int
+	// KillAfterReceives is the number of receive completions after which
+	// the rank dies: the first MPI call entered once the rank's
+	// ReceivedMessages count reaches this value returns ErrKilled.
+	KillAfterReceives uint64
+}
+
+// checkFault enforces the world's fault plan at an MPI call boundary. It
+// returns ErrKilled for the doomed rank once its receive count reaches the
+// plan's threshold (aborting the world as a side effect) and ErrAborted for
+// every rank once the world is aborted.
+func (c *Comm) checkFault() error {
+	w := c.world
+	if f := w.opts.Faults; f != nil && f.KillRank == c.rank &&
+		c.traffic.ReceivedMessages >= f.KillAfterReceives {
+		w.abort()
+		return ErrKilled
+	}
+	if w.aborted.Load() {
+		return ErrAborted
+	}
+	return nil
+}
+
+// abort marks the world dead and wakes every rank blocked in a collective
+// so it can observe the abort instead of waiting for the dead rank.
+func (w *World) abort() {
+	if w.aborted.CompareAndSwap(false, true) {
+		w.coll.mu.Lock()
+		w.coll.cond.Broadcast()
+		w.coll.mu.Unlock()
+	}
+}
+
+// Aborted reports whether a fault plan has killed a rank in this world.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// FaultyWriter wraps an io.Writer with injectable I/O faults: an optional
+// per-Write delay and a hard failure after a byte budget. The write that
+// crosses the budget is partially applied (the bytes that fit are written
+// through), mirroring how a real device fails mid-write.
+type FaultyWriter struct {
+	W io.Writer
+	// FailAfterBytes is the number of bytes accepted before writes start
+	// failing. Zero or negative means fail immediately.
+	FailAfterBytes int64
+	// Delay is slept before each underlying write, to widen flush races.
+	Delay time.Duration
+	// Err is the error reported on failure; ErrInjectedIO when nil.
+	Err error
+
+	written int64
+}
+
+// Written reports how many bytes reached the underlying writer.
+func (f *FaultyWriter) Written() int64 { return f.written }
+
+func (f *FaultyWriter) failure() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjectedIO
+}
+
+// Write implements io.Writer with the configured faults.
+func (f *FaultyWriter) Write(p []byte) (int, error) {
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	room := f.FailAfterBytes - f.written
+	if room <= 0 {
+		return 0, f.failure()
+	}
+	if int64(len(p)) <= room {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.W.Write(p[:room])
+	f.written += int64(n)
+	if err == nil {
+		err = f.failure()
+	}
+	return n, err
+}
+
+// CorruptFlip returns a copy of b with one bit flipped at byte offset off
+// (clamped into range), simulating media corruption in a written record.
+func CorruptFlip(b []byte, off int) []byte {
+	out := append([]byte(nil), b...)
+	if len(out) == 0 {
+		return out
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off >= len(out) {
+		off = len(out) - 1
+	}
+	out[off] ^= 0x40
+	return out
+}
+
+// CorruptTruncate returns the first n bytes of b (clamped into range),
+// simulating a record whose tail never reached the disk.
+func CorruptTruncate(b []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(b) {
+		n = len(b)
+	}
+	return append([]byte(nil), b[:n]...)
+}

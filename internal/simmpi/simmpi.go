@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -174,6 +175,9 @@ type Options struct {
 	// WaitTimeout bounds every blocking call; exceeding it returns
 	// ErrTimeout instead of hanging a test. Default 30s.
 	WaitTimeout time.Duration
+	// Faults, when non-nil, schedules a deterministic rank failure (see
+	// FaultPlan). Nil worlds never inject faults.
+	Faults *FaultPlan
 }
 
 func (o *Options) fill() {
@@ -187,10 +191,11 @@ func (o *Options) fill() {
 
 // World is a set of communicating ranks.
 type World struct {
-	n     int
-	opts  Options
-	boxes []*mailbox
-	coll  *collectives
+	n       int
+	opts    Options
+	boxes   []*mailbox
+	coll    *collectives
+	aborted atomic.Bool
 }
 
 // NewWorld creates a world of n ranks.
@@ -200,6 +205,7 @@ func NewWorld(n int, opts Options) *World {
 	}
 	opts.fill()
 	w := &World{n: n, opts: opts, coll: newCollectives(n)}
+	w.coll.aborted = &w.aborted
 	w.boxes = make([]*mailbox, n)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox(opts.Seed*1_000_003+int64(i)*7919+1, opts.MaxJitter)

@@ -32,6 +32,37 @@ type Queue[T any] struct {
 	tail   atomic.Uint64 // next slot the producer will write
 	_      [7]uint64
 	closed atomic.Bool
+	// idleLoops counts empty-queue wait iterations across both endpoints,
+	// for tests asserting the idle spin is bounded.
+	idleLoops atomic.Uint64
+}
+
+// Backoff thresholds for blocked endpoints: spin briefly for latency, then
+// yield, then sleep with a growing interval so an idle endpoint consumes a
+// bounded number of scheduler slots instead of busy-spinning at
+// runtime.Gosched granularity forever.
+const (
+	spinBeforeYield = 64
+	yieldBeforeNap  = 1024
+	maxNap          = 200 * time.Microsecond
+)
+
+// backoff performs the wait step appropriate for the i-th consecutive
+// unproductive iteration.
+func (q *Queue[T]) backoff(i int) {
+	q.idleLoops.Add(1)
+	switch {
+	case i < spinBeforeYield:
+		// Hot spin: the other endpoint is probably mid-operation.
+	case i < yieldBeforeNap:
+		runtime.Gosched()
+	default:
+		nap := time.Duration(i-yieldBeforeNap+1) * time.Microsecond
+		if nap > maxNap {
+			nap = maxNap
+		}
+		time.Sleep(nap)
+	}
 }
 
 // New returns a queue with capacity rounded up to the next power of two
@@ -65,19 +96,23 @@ func (q *Queue[T]) TryEnqueue(v T) bool {
 	return true
 }
 
-// Enqueue adds v, blocking while the queue is full. It must only be called
-// by the single producer. Enqueue panics if the queue has been closed:
-// closing is the producer's own signal that no more items will arrive.
-func (q *Queue[T]) Enqueue(v T) {
-	if q.closed.Load() {
-		panic("spsc: Enqueue after Close")
-	}
+// Enqueue adds v, blocking while the queue is full, and reports whether the
+// item was accepted. It must only be called by the single producer. A false
+// result means the queue was closed — either before the call or while the
+// producer was blocked on a full ring with the consumer gone (a crashed or
+// abandoned drain thread); the item is dropped rather than deadlocking the
+// producer.
+func (q *Queue[T]) Enqueue(v T) bool {
 	spins := 0
-	for !q.TryEnqueue(v) {
-		spins++
-		if spins > 64 {
-			runtime.Gosched()
+	for {
+		if q.closed.Load() {
+			return false
 		}
+		if q.TryEnqueue(v) {
+			return true
+		}
+		q.backoff(spins)
+		spins++
 	}
 }
 
@@ -113,10 +148,8 @@ func (q *Queue[T]) Dequeue() (T, bool) {
 			var zero T
 			return zero, false
 		}
+		q.backoff(spins)
 		spins++
-		if spins > 64 {
-			runtime.Gosched()
-		}
 	}
 }
 
@@ -139,18 +172,23 @@ func (q *Queue[T]) DequeueTimeout(d time.Duration) (v T, ok bool, done bool) {
 			var zero T
 			return zero, false, true
 		}
+		q.backoff(spins)
 		spins++
-		if spins > 64 {
-			runtime.Gosched()
-		}
-		if spins%1024 == 0 && time.Now().After(deadline) {
+		if (spins < yieldBeforeNap && spins%64 == 0 || spins >= yieldBeforeNap) &&
+			time.Now().After(deadline) {
 			var zero T
 			return zero, false, false
 		}
 	}
 }
 
-// Close marks the queue as finished. Only the producer may call Close, and
-// only after its final Enqueue. The consumer drains remaining items and
-// then receives ok=false from Dequeue.
+// Close marks the queue as finished. The producer calls it after its final
+// Enqueue; a supervisor may also call it to abandon the queue (e.g. when
+// simulating a crash), in which case a producer blocked in Enqueue unblocks
+// and drops its item. The consumer drains remaining items and then receives
+// ok=false from Dequeue.
 func (q *Queue[T]) Close() { q.closed.Store(true) }
+
+// IdleLoops reports how many unproductive wait iterations blocked endpoints
+// have performed, for tests asserting the idle backoff is bounded.
+func (q *Queue[T]) IdleLoops() uint64 { return q.idleLoops.Load() }

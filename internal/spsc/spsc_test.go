@@ -3,6 +3,7 @@ package spsc
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFIFOOrder(t *testing.T) {
@@ -65,15 +66,60 @@ func TestCloseDrains(t *testing.T) {
 	}
 }
 
-func TestEnqueueAfterClosePanics(t *testing.T) {
+func TestEnqueueAfterCloseDrops(t *testing.T) {
 	q := New[int](2)
 	q.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
+	if q.Enqueue(1) {
+		t.Fatal("Enqueue on closed queue reported accepted")
+	}
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("dropped item was buffered anyway")
+	}
+}
+
+// TestCloseUnblocksFullEnqueue simulates a crashed consumer: the producer is
+// blocked on a full ring, a supervisor closes the queue, and the producer
+// must unblock with Enqueue reporting the item was dropped.
+func TestCloseUnblocksFullEnqueue(t *testing.T) {
+	q := New[int](2)
 	q.Enqueue(1)
+	q.Enqueue(2)
+	done := make(chan bool, 1)
+	go func() {
+		done <- q.Enqueue(3) // blocks: ring is full, nobody is draining
+	}()
+	select {
+	case <-done:
+		t.Fatal("Enqueue on full queue returned before Close")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Close()
+	select {
+	case accepted := <-done:
+		if accepted {
+			t.Fatal("Enqueue after Close-while-blocked reported accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Enqueue did not unblock after Close")
+	}
+}
+
+// TestIdleSpinBounded asserts an idle consumer backs off to sleeping instead
+// of burning scheduler slots forever: waiting ~50ms must cost far fewer
+// iterations than a Gosched-granularity busy loop would (tens of millions).
+func TestIdleSpinBounded(t *testing.T) {
+	q := New[int](8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		q.DequeueTimeout(50 * time.Millisecond)
+	}()
+	<-done
+	// 50ms of waiting: ~1k spin/yield iterations then ≤200µs naps, so the
+	// loop count stays in the low thousands. Allow generous headroom.
+	if n := q.IdleLoops(); n > 100_000 {
+		t.Fatalf("idle wait performed %d loop iterations; backoff is not bounding the spin", n)
+	}
 }
 
 // TestConcurrentProducerConsumer exercises the lock-free paths under the
