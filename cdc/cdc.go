@@ -1,0 +1,266 @@
+// Package cdc is the public facade over the clock-delta-compression
+// record/replay pipeline. It owns the session wiring that every tool
+// binary would otherwise duplicate: the record directory lifecycle
+// (create → rank files → finalize), the per-rank tool stack
+// (lamport clock layer → CDC recorder or replayer), and result
+// collection across ranks.
+//
+//	w := simmpi.NewWorld(ranks, simmpi.Options{})
+//	rep, err := cdc.Record(w, dir, func(rank int, mpi simmpi.MPI) error {
+//	    return app(rank, mpi) // written against simmpi.MPI, tool-oblivious
+//	}, cdc.WithApp("myapp"))
+//
+//	w2 := simmpi.NewWorld(ranks, simmpi.Options{})
+//	rrep, err := cdc.Replay(w2, dir, app, cdc.WithApp("myapp"))
+//
+// Record writes one CDC record file per rank plus a manifest; the manifest
+// is only marked complete when every rank closed cleanly, so a crashed or
+// failed recording is never mistaken for a replayable one. Replay validates
+// the manifest (app name, rank count, completeness), decodes each rank's
+// record, and releases receive events to the application in the recorded
+// order; salvaged records from crashed runs replay to the crash frontier
+// and then continue live.
+//
+// Sessions are configured with functional options (see Option); invalid
+// values and invalid combinations fail fast with an *OptionError before
+// any file or goroutine is touched.
+package cdc
+
+import (
+	"errors"
+	"fmt"
+
+	"cdcreplay/internal/baseline"
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/lamport"
+	"cdcreplay/internal/record"
+	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/replay"
+	"cdcreplay/internal/simmpi"
+)
+
+// App is one rank's application body. It is written against the plain
+// simmpi.MPI interface and runs unchanged in plain, record, and replay
+// sessions — the tool stack wraps the endpoint it is handed.
+type App func(rank int, mpi simmpi.MPI) error
+
+// RankRecord is one rank's recording outcome.
+type RankRecord struct {
+	// Rank identifies the rank.
+	Rank int
+	// Queue is the observe-queue throughput measurement (§6.2).
+	Queue record.RateStats
+	// Encoder aggregates the CDC encoder's row and compression counters.
+	Encoder core.Stats
+	// Bytes is the rank's encoded record size on disk.
+	Bytes int64
+}
+
+// RecordReport is what Record returns: per-rank stats plus the directory
+// the record landed in.
+type RecordReport struct {
+	// Dir is the finalized record directory.
+	Dir string
+	// Ranks holds one entry per rank, indexed by rank.
+	Ranks []RankRecord
+}
+
+// TotalBytes sums the encoded record size across ranks.
+func (r *RecordReport) TotalBytes() int64 {
+	var n int64
+	for _, rr := range r.Ranks {
+		n += rr.Bytes
+	}
+	return n
+}
+
+// TotalRows sums the observed record-table rows across ranks.
+func (r *RecordReport) TotalRows() uint64 {
+	var n uint64
+	for _, rr := range r.Ranks {
+		n += rr.Encoder.Rows
+	}
+	return n
+}
+
+// Record runs app on every rank of world under the CDC recording stack and
+// writes the record to dir. The directory is finalized (marked complete)
+// only if every rank finishes and closes cleanly; on error the manifest
+// stays incomplete, so a later Replay refuses it instead of replaying a
+// torn record.
+func Record(world *simmpi.World, dir string, app App, opts ...Option) (*RecordReport, error) {
+	cfg, err := newConfig(modeRecord, opts)
+	if err != nil {
+		return nil, err
+	}
+	if app == nil {
+		return nil, errors.New("cdc: Record needs a non-nil App")
+	}
+	err = recorddir.Create(dir, recorddir.Manifest{
+		Ranks:  world.Size(),
+		App:    cfg.app,
+		Params: cfg.params,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &RecordReport{Dir: dir, Ranks: make([]RankRecord, world.Size())}
+	err = world.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		f, err := recorddir.CreateRankFile(dir, rank)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		encOpts := core.EncoderOptions{
+			ChunkEvents:      cfg.chunkEvents,
+			OmitSenderColumn: cfg.omitSenderColumn,
+			Durable:          cfg.durable,
+			Obs:              cfg.obs,
+		}
+		if cfg.gzipLevelSet {
+			encOpts.GzipLevel = cfg.gzipLevel
+		}
+		enc, err := core.NewEncoder(f, encOpts)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		method := baseline.NewCDC(enc)
+		rec := record.New(lamport.Wrap(mpi), method, record.Options{
+			QueueCapacity:  cfg.queueCapacity,
+			DisableMFID:    cfg.disableMFID,
+			FlushInterval:  cfg.flushInterval,
+			FlushEveryRows: cfg.flushEveryRows,
+			Obs:            cfg.obs,
+		})
+		appErr := app(rank, rec)
+		closeErr := rec.Close()
+		fileErr := f.Close()
+		// Distinct slice indices; safe to write concurrently across ranks.
+		report.Ranks[rank] = RankRecord{
+			Rank:    rank,
+			Queue:   rec.Stats(),
+			Encoder: method.Stats(),
+			Bytes:   method.BytesWritten(),
+		}
+		if err := errors.Join(appErr, closeErr, fileErr); err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return report, err
+	}
+	if err := recorddir.Finalize(dir); err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// RankReplay is one rank's replay outcome.
+type RankReplay struct {
+	// Rank identifies the rank.
+	Rank int
+	// Stats counts what the replayer did.
+	Stats replay.Stats
+	// Live reports that this rank crossed its record's end into live
+	// execution; Note says where and why.
+	Live bool
+	// Note is the replayer's live-handback diagnostic (empty unless Live).
+	Note string
+}
+
+// ReplayReport is what Replay returns.
+type ReplayReport struct {
+	// Dir is the record directory that was replayed.
+	Dir string
+	// Manifest is the validated record manifest.
+	Manifest recorddir.Manifest
+	// Salvaged reports that the record is a crash-salvaged prefix, replayed
+	// with live continuation past the crash frontier.
+	Salvaged bool
+	// Ranks holds one entry per rank, indexed by rank.
+	Ranks []RankReplay
+}
+
+// Live reports whether any rank continued past its record into live
+// execution, with every rank's diagnostic note.
+func (r *ReplayReport) Live() (bool, []string) {
+	var notes []string
+	for _, rr := range r.Ranks {
+		if rr.Live {
+			notes = append(notes, fmt.Sprintf("rank %d: %s", rr.Rank, rr.Note))
+		}
+	}
+	return len(notes) > 0, notes
+}
+
+// Released sums released receive events across ranks (replayed order only,
+// not live-phase deliveries).
+func (r *ReplayReport) Released() uint64 {
+	var n uint64
+	for _, rr := range r.Ranks {
+		n += rr.Stats.Released
+	}
+	return n
+}
+
+// Replay runs app on every rank of world under the CDC replay stack,
+// releasing receive events in the order recorded in dir. Each rank is
+// verified after the application finishes: leftover recorded events or
+// unreleased messages fail the replay (unless the rank legitimately went
+// live past a salvaged record's crash frontier).
+func Replay(world *simmpi.World, dir string, app App, opts ...Option) (*ReplayReport, error) {
+	cfg, err := newConfig(modeReplay, opts)
+	if err != nil {
+		return nil, err
+	}
+	if app == nil {
+		return nil, errors.New("cdc: Replay needs a non-nil App")
+	}
+	m, err := recorddir.Open(dir, cfg.app, world.Size())
+	if err != nil {
+		return nil, err
+	}
+	live := m.Salvaged || cfg.live
+	report := &ReplayReport{
+		Dir:      dir,
+		Manifest: m,
+		Salvaged: m.Salvaged,
+		Ranks:    make([]RankReplay, world.Size()),
+	}
+	err = world.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		rec, err := recorddir.LoadRank(dir, rank)
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		ropts := replay.Options{
+			Timeout:            cfg.timeout,
+			DisableMFID:        cfg.disableMFID,
+			LiveAfterExhausted: live,
+			Obs:                cfg.obs,
+		}
+		if cfg.optimisticSet {
+			ropts.OptimisticDelay = cfg.optimisticDelay
+		}
+		if cfg.onRelease != nil {
+			onRelease := cfg.onRelease
+			ropts.OnRelease = func(st simmpi.Status) { onRelease(rank, st) }
+		}
+		rp := replay.New(lamport.WrapManual(mpi), rec, ropts)
+		appErr := app(rank, rp)
+		var verifyErr error
+		if appErr == nil {
+			verifyErr = rp.Verify()
+		}
+		isLive, note := rp.Live()
+		report.Ranks[rank] = RankReplay{Rank: rank, Stats: rp.Stats(), Live: isLive, Note: note}
+		if err := errors.Join(appErr, verifyErr); err != nil {
+			return fmt.Errorf("rank %d: %w", rank, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return report, err
+	}
+	return report, nil
+}

@@ -1,0 +1,191 @@
+package cdc
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cdcreplay/internal/mcb"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/simmpi"
+)
+
+const testRanks = 4
+
+var testParams = mcb.Params{Particles: 80, TimeSteps: 2, Seed: 13, CrossProb: 0.4}
+
+// mcbApp runs MCB and stores rank 0's order-sensitive tally into *out.
+func mcbApp(out *float64, mu *sync.Mutex) App {
+	return func(rank int, mpi simmpi.MPI) error {
+		res, err := mcb.Run(mpi, testParams)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			mu.Lock()
+			*out = res.GlobalTally
+			mu.Unlock()
+		}
+		return nil
+	}
+}
+
+// TestRecordReplayRoundTrip is the facade's core contract: Record once,
+// Replay on a differently-timed network, get the bit-identical tally.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	var mu sync.Mutex
+	var recorded float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 21, MaxJitter: 8})
+	rep, err := Record(w, dir, mcbApp(&recorded, &mu),
+		WithApp("mcb"),
+		WithParams(map[string]string{"particles": "80"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ranks) != testRanks {
+		t.Fatalf("report ranks = %d", len(rep.Ranks))
+	}
+	if rep.TotalRows() == 0 || rep.TotalBytes() == 0 {
+		t.Fatalf("empty record: rows=%d bytes=%d", rep.TotalRows(), rep.TotalBytes())
+	}
+	for _, rr := range rep.Ranks {
+		if rr.Queue.Enqueued == 0 {
+			t.Errorf("rank %d enqueued nothing", rr.Rank)
+		}
+	}
+
+	var replayed float64
+	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 99, MaxJitter: 8})
+	rrep, err := Replay(w2, dir, mcbApp(&replayed, &mu), WithApp("mcb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != recorded {
+		t.Fatalf("tally diverged: recorded %.17g, replayed %.17g", recorded, replayed)
+	}
+	if rrep.Released() == 0 {
+		t.Error("replay released no events")
+	}
+	if rrep.Salvaged {
+		t.Error("clean record reported as salvaged")
+	}
+	if live, notes := rrep.Live(); live {
+		t.Errorf("clean replay went live: %v", notes)
+	}
+	if rrep.Manifest.Params["particles"] != "80" {
+		t.Errorf("manifest params = %v", rrep.Manifest.Params)
+	}
+}
+
+// TestRecordWithObsPopulatesRegistry wires one registry through a facade
+// session and checks each pipeline layer reported in.
+func TestRecordWithObsPopulatesRegistry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var tally float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 22, MaxJitter: 8, Obs: reg})
+	rep, err := Record(w, dir, mcbApp(&tally, &mu),
+		WithApp("mcb"), WithObs(reg), WithFlushEveryRows(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	// Every row the app threads enqueued is drained and counted by the CDC
+	// goroutines before Close returns. (record.rows exceeds the encoder's
+	// table rows: failed tests fold into unmatched runs before encoding.)
+	var enqueued uint64
+	for _, rr := range rep.Ranks {
+		enqueued += rr.Queue.Enqueued
+	}
+	if got := s.Counter("record.rows"); got != enqueued {
+		t.Errorf("record.rows = %d, RateStats say %d", got, enqueued)
+	}
+	if s.Counter("record.rows") < rep.TotalRows() {
+		t.Errorf("record.rows = %d < encoder rows %d", s.Counter("record.rows"), rep.TotalRows())
+	}
+	if got := s.Counter("encode.bytes.gzip"); got != uint64(rep.TotalBytes()) {
+		t.Errorf("encode.bytes.gzip = %d, report says %d", got, rep.TotalBytes())
+	}
+	for _, name := range []string{"record.queue.enqueued", "record.flushes",
+		"encode.chunks", "encode.bytes.raw", "encode.bytes.re",
+		"encode.bytes.pe", "encode.bytes.lpe", "net.messages"} {
+		if s.Counter(name) == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+
+	reg2 := obs.NewRegistry()
+	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 23, MaxJitter: 8, Obs: reg2})
+	rrep, err := Replay(w2, dir, mcbApp(&tally, &mu), WithApp("mcb"), WithObs(reg2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Snapshot().Counter("replay.releases"); got != rrep.Released() {
+		t.Errorf("replay.releases = %d, report says %d", got, rrep.Released())
+	}
+}
+
+// TestRecordFailureLeavesDirIncomplete: a failing app must not finalize the
+// manifest, and Replay must refuse the torn directory.
+func TestRecordFailureLeavesDirIncomplete(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	boom := errors.New("app exploded")
+	w := simmpi.NewWorld(2, simmpi.Options{Seed: 3})
+	_, err := Record(w, dir, func(rank int, mpi simmpi.MPI) error {
+		if rank == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("record error = %v, want the app error", err)
+	}
+	w2 := simmpi.NewWorld(2, simmpi.Options{Seed: 4})
+	_, err = Replay(w2, dir, func(int, simmpi.MPI) error { return nil })
+	if !errors.Is(err, recorddir.ErrIncomplete) {
+		t.Fatalf("replay of torn dir = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestSessionsRejectInvalidOptions(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	w := simmpi.NewWorld(2, simmpi.Options{Seed: 5})
+	app := func(int, simmpi.MPI) error { return nil }
+	// Option errors must fire before the directory is created.
+	if _, err := Record(w, dir, app, WithDurable()); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("Record durable-without-cadence = %v", err)
+	}
+	if _, err := Record(w, dir, app, WithTimeout(1)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("Record with replay option = %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Error("rejected session still created the record directory")
+	}
+	if _, err := Record(w, dir, nil); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := Replay(w, dir, app, WithChunkEvents(8)); !errors.Is(err, ErrInvalidOption) {
+		t.Fatalf("Replay with record option = %v", err)
+	}
+}
+
+// TestWithAppCrossCheck: replay with a different app name refuses the
+// record.
+func TestWithAppCrossCheck(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	var mu sync.Mutex
+	var tally float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 31, MaxJitter: 4})
+	if _, err := Record(w, dir, mcbApp(&tally, &mu), WithApp("mcb")); err != nil {
+		t.Fatal(err)
+	}
+	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 32, MaxJitter: 4})
+	if _, err := Replay(w2, dir, mcbApp(&tally, &mu), WithApp("jacobi")); err == nil {
+		t.Fatal("app-name mismatch accepted")
+	}
+}

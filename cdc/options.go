@@ -1,0 +1,301 @@
+package cdc
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"time"
+
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/simmpi"
+)
+
+// ErrInvalidOption is the sentinel every option-validation failure unwraps
+// to, so callers can test errors.Is(err, cdc.ErrInvalidOption) without
+// matching on the specific option.
+var ErrInvalidOption = errors.New("cdc: invalid option")
+
+// OptionError reports a rejected option: which one, and why. It unwraps to
+// ErrInvalidOption.
+type OptionError struct {
+	// Option names the constructor that produced the bad option, e.g.
+	// "WithDurable".
+	Option string
+	// Reason explains the rejection.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("cdc: option %s: %s", e.Option, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrInvalidOption) work.
+func (e *OptionError) Unwrap() error { return ErrInvalidOption }
+
+// sessionMode scopes options: some only make sense when recording, some
+// only when replaying.
+type sessionMode int
+
+const (
+	modeRecord sessionMode = iota
+	modeReplay
+)
+
+func (m sessionMode) String() string {
+	if m == modeRecord {
+		return "Record"
+	}
+	return "Replay"
+}
+
+// config is the merged, validated option set for one session.
+type config struct {
+	mode sessionMode
+
+	// Shared.
+	app         string
+	params      map[string]string
+	disableMFID bool
+	obs         *obs.Registry
+
+	// Record side.
+	queueCapacity    int
+	flushInterval    time.Duration
+	flushEveryRows   int
+	durable          bool
+	chunkEvents      int
+	gzipLevel        int
+	gzipLevelSet     bool
+	omitSenderColumn bool
+
+	// Replay side.
+	timeout         time.Duration
+	optimisticDelay time.Duration
+	optimisticSet   bool
+	live            bool
+	onRelease       func(rank int, st simmpi.Status)
+}
+
+// Option configures a Record or Replay session. Options are validated when
+// applied; an invalid value or a mode mismatch surfaces as an *OptionError
+// before any goroutine starts or file is touched.
+type Option func(*config) error
+
+// recordOnly wraps an option body with a Record-mode check.
+func recordOnly(name string, f func(*config) error) Option {
+	return func(c *config) error {
+		if c.mode != modeRecord {
+			return &OptionError{Option: name, Reason: "only valid for Record sessions, not " + c.mode.String()}
+		}
+		return f(c)
+	}
+}
+
+// replayOnly wraps an option body with a Replay-mode check.
+func replayOnly(name string, f func(*config) error) Option {
+	return func(c *config) error {
+		if c.mode != modeReplay {
+			return &OptionError{Option: name, Reason: "only valid for Replay sessions, not " + c.mode.String()}
+		}
+		return f(c)
+	}
+}
+
+// newConfig applies opts in order and runs cross-option validation.
+func newConfig(mode sessionMode, opts []Option) (*config, error) {
+	c := &config{mode: mode}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	if c.durable && c.flushInterval == 0 && c.flushEveryRows == 0 {
+		return nil, &OptionError{Option: "WithDurable",
+			Reason: "requires a flush cadence (WithFlushInterval or WithFlushEveryRows); " +
+				"without one the record only reaches storage at Close, so durability would not bound crash loss"}
+	}
+	return c, nil
+}
+
+// WithApp names the application in the record manifest (Record) or
+// cross-checks the manifest's app name before replaying (Replay). Empty
+// skips the replay-side check.
+func WithApp(name string) Option {
+	return func(c *config) error {
+		c.app = name
+		return nil
+	}
+}
+
+// WithParams attaches free-form application parameters to the record
+// manifest, for the replay operator to cross-check.
+func WithParams(params map[string]string) Option {
+	return recordOnly("WithParams", func(c *config) error {
+		if c.params == nil {
+			c.params = make(map[string]string, len(params))
+		}
+		for k, v := range params {
+			c.params[k] = v
+		}
+		return nil
+	})
+}
+
+// WithoutMFID merges every MF callsite into a single record stream — the
+// paper's "CDC (RE+PE+LPE)" ablation. Record and Replay must agree on it.
+func WithoutMFID() Option {
+	return func(c *config) error {
+		c.disableMFID = true
+		return nil
+	}
+}
+
+// WithObs attaches an obs.Registry: the session's pipeline layers publish
+// their metrics (record.*, encode.*, replay.* — see DESIGN.md §8) into it.
+// Without this option instrumentation is disabled and costs one pointer
+// check per site.
+func WithObs(reg *obs.Registry) Option {
+	return func(c *config) error {
+		c.obs = reg
+		return nil
+	}
+}
+
+// WithQueueCapacity bounds each rank's observe queue (default 65536
+// events).
+func WithQueueCapacity(n int) Option {
+	return recordOnly("WithQueueCapacity", func(c *config) error {
+		if n < 1 {
+			return &OptionError{Option: "WithQueueCapacity", Reason: fmt.Sprintf("capacity must be positive, got %d", n)}
+		}
+		c.queueCapacity = n
+		return nil
+	})
+}
+
+// WithFlushInterval makes each rank's CDC goroutine flush pending chunks to
+// storage at least every d while idle (the §3.5 periodic flush).
+func WithFlushInterval(d time.Duration) Option {
+	return recordOnly("WithFlushInterval", func(c *config) error {
+		if d <= 0 {
+			return &OptionError{Option: "WithFlushInterval", Reason: fmt.Sprintf("interval must be positive, got %v", d)}
+		}
+		c.flushInterval = d
+		return nil
+	})
+}
+
+// WithFlushEveryRows flushes pending chunks after every n observed rows — a
+// deterministic cadence, unlike WithFlushInterval.
+func WithFlushEveryRows(n int) Option {
+	return recordOnly("WithFlushEveryRows", func(c *config) error {
+		if n < 1 {
+			return &OptionError{Option: "WithFlushEveryRows", Reason: fmt.Sprintf("row count must be positive, got %d", n)}
+		}
+		c.flushEveryRows = n
+		return nil
+	})
+}
+
+// WithDurable fsyncs each rank's record at every flush point and on close,
+// bounding what a machine crash can lose to the events since the last
+// flush. It requires a flush cadence (WithFlushInterval or
+// WithFlushEveryRows); newConfig rejects the combination without one.
+func WithDurable() Option {
+	return recordOnly("WithDurable", func(c *config) error {
+		c.durable = true
+		return nil
+	})
+}
+
+// WithChunkEvents sets the matched events per chunk before a flush
+// (default 4096, the §3.5 epoch granularity).
+func WithChunkEvents(n int) Option {
+	return recordOnly("WithChunkEvents", func(c *config) error {
+		if n < 1 {
+			return &OptionError{Option: "WithChunkEvents", Reason: fmt.Sprintf("chunk size must be positive, got %d", n)}
+		}
+		c.chunkEvents = n
+		return nil
+	})
+}
+
+// WithGzipLevel sets the final gzip pass's compression level:
+// gzip.DefaultCompression (-1) or 1–9. Level 0 (gzip.NoCompression) is
+// rejected because the encoder treats 0 as "unset"; record without the
+// final pass is not representable.
+func WithGzipLevel(level int) Option {
+	return recordOnly("WithGzipLevel", func(c *config) error {
+		if level == gzip.NoCompression {
+			return &OptionError{Option: "WithGzipLevel",
+				Reason: "level 0 (no compression) is not representable; use gzip.DefaultCompression or 1-9"}
+		}
+		if level < gzip.DefaultCompression || level > gzip.BestCompression {
+			return &OptionError{Option: "WithGzipLevel", Reason: fmt.Sprintf("level must be -1 or 1-9, got %d", level)}
+		}
+		c.gzipLevel = level
+		c.gzipLevelSet = true
+		return nil
+	})
+}
+
+// WithOmitSenderColumn drops the sender-column robustness extension,
+// producing the paper's exact record format. See
+// cdcformat.Chunk.Senders for the replay-robustness trade-off.
+func WithOmitSenderColumn() Option {
+	return recordOnly("WithOmitSenderColumn", func(c *config) error {
+		c.omitSenderColumn = true
+		return nil
+	})
+}
+
+// WithTimeout bounds how long a replayed release may wait for its recorded
+// message before failing with replay.ErrStalled (default 30s).
+func WithTimeout(d time.Duration) Option {
+	return replayOnly("WithTimeout", func(c *config) error {
+		if d <= 0 {
+			return &OptionError{Option: "WithTimeout", Reason: fmt.Sprintf("timeout must be positive, got %v", d)}
+		}
+		c.timeout = d
+		return nil
+	})
+}
+
+// WithOptimisticDelay sets how long a release may stall on the strict
+// Axiom 1 rule before the best candidate is released optimistically
+// (verified at chunk end; default 50ms). A negative delay disables
+// optimism; zero is rejected as ambiguous.
+func WithOptimisticDelay(d time.Duration) Option {
+	return replayOnly("WithOptimisticDelay", func(c *config) error {
+		if d == 0 {
+			return &OptionError{Option: "WithOptimisticDelay",
+				Reason: "zero is ambiguous; pass a negative delay to disable optimism"}
+		}
+		c.optimisticDelay = d
+		c.optimisticSet = true
+		return nil
+	})
+}
+
+// WithLiveReplay forces LiveAfterExhausted even for complete records: when
+// a callsite's recorded stream runs out, execution continues live instead
+// of failing. Salvaged (crashed-run) records get this behaviour
+// automatically.
+func WithLiveReplay() Option {
+	return replayOnly("WithLiveReplay", func(c *config) error {
+		c.live = true
+		return nil
+	})
+}
+
+// WithOnRelease registers a callback invoked for every receive event handed
+// to the application, in the order that rank observes them.
+func WithOnRelease(f func(rank int, st simmpi.Status)) Option {
+	return replayOnly("WithOnRelease", func(c *config) error {
+		c.onRelease = f
+		return nil
+	})
+}

@@ -5,26 +5,49 @@
 //
 //	cdcbench -exp all            # every experiment at quick scale
 //	cdcbench -exp fig13 -full    # one experiment at paper-leaning scale
+//	cdcbench -exp pipeline -metrics-out BENCH_pipeline.json
+//	cdcbench -exp all -http :6060   # live metrics + pprof while running
 //
 // Experiments: fig1, fig13, fig14, fig15, fig16, fig17, queue, piggyback,
-// replay, all.
+// replay, ablations, pipeline, all.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"cdcreplay/internal/harness"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/obs/obshttp"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|all)")
 	full := flag.Bool("full", false, "paper-leaning scales (slower)")
 	seed := flag.Int64("seed", 1, "network noise seed")
+	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's metrics to this JSON file")
+	httpAddr := flag.String("http", "", "serve live metrics (/metrics, /debug/vars) and pprof on this address while experiments run")
 	flag.Parse()
 
 	cfg := harness.Config{Out: os.Stdout, Full: *full, Seed: *seed}
+
+	if *httpAddr != "" {
+		// Experiments create short-lived registries; the endpoint follows
+		// whichever one is current.
+		var current atomic.Pointer[obs.Registry]
+		cfg.OnRegistry = func(reg *obs.Registry) { current.Store(reg) }
+		addr, stop, err := obshttp.Serve(*httpAddr, func() obs.Snapshot {
+			return current.Load().Snapshot()
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdcbench: -http: %v\n", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Printf("serving metrics on http://%s/metrics (pprof at /debug/pprof/)\n\n", addr)
+	}
 
 	type runner struct {
 		name string
@@ -44,6 +67,19 @@ func main() {
 		{"piggyback", wrap(func(c harness.Config) (any, error) { return harness.PiggybackOverhead(c) })},
 		{"replay", wrap(func(c harness.Config) (any, error) { return harness.ReplayValidation(c) })},
 		{"ablations", wrap(func(c harness.Config) (any, error) { return harness.Ablations(c) })},
+		{"pipeline", func(c harness.Config) error {
+			res, err := harness.Pipeline(c)
+			if err != nil {
+				return err
+			}
+			if *metricsOut != "" {
+				if err := res.WriteJSON(*metricsOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *metricsOut)
+			}
+			return nil
+		}},
 	}
 
 	ran := false

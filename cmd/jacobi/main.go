@@ -7,6 +7,7 @@
 //	jacobi -ranks 8 -iters 500
 //	jacobi -ranks 8 -iters 500 -mode record -dir /tmp/rec
 //	jacobi -ranks 8 -iters 500 -mode replay -dir /tmp/rec
+//	jacobi -mode record -dir /tmp/rec -http :6060   # + live pipeline metrics
 package main
 
 import (
@@ -15,13 +16,10 @@ import (
 	"os"
 	"sync"
 
-	"cdcreplay/internal/baseline"
-	"cdcreplay/internal/core"
+	"cdcreplay/cdc"
 	"cdcreplay/internal/jacobi"
-	"cdcreplay/internal/lamport"
-	"cdcreplay/internal/record"
-	"cdcreplay/internal/recorddir"
-	"cdcreplay/internal/replay"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/obs/obshttp"
 	"cdcreplay/internal/simmpi"
 )
 
@@ -34,110 +32,81 @@ func main() {
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
 	flush := flag.Duration("flush", 0, "periodic chunk flush interval for record mode (0 = event-count flushing only)")
 	seed := flag.Int64("seed", 0, "network noise seed")
+	httpAddr := flag.String("http", "", "serve live pipeline metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	if (*mode == "record" || *mode == "replay") && *dir == "" {
 		fmt.Fprintln(os.Stderr, "jacobi: -dir is required for record/replay")
 		os.Exit(2)
 	}
-	params := jacobi.Params{Rows: *rows, Cols: *cols, Iterations: *iters}
-	var salvaged bool
-	switch *mode {
-	case "record":
-		err := recorddir.Create(*dir, recorddir.Manifest{
-			Ranks: *ranks,
-			App:   "jacobi",
-			Params: map[string]string{
-				"rows":  fmt.Sprint(*rows),
-				"cols":  fmt.Sprint(*cols),
-				"iters": fmt.Sprint(*iters),
-			},
-		})
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		addr, stop, err := obshttp.Serve(*httpAddr, reg.Snapshot)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
 			os.Exit(1)
 		}
-	case "replay":
-		m, err := recorddir.Open(*dir, "jacobi", *ranks)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
-			os.Exit(1)
-		}
-		salvaged = m.Salvaged
+		defer stop()
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
 	}
-	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 6})
+	params := jacobi.Params{Rows: *rows, Cols: *cols, Iterations: *iters}
+	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 6, Obs: reg})
 
 	var mu sync.Mutex
 	var residual float64
-	var recorded int64
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		var stack simmpi.MPI
-		finish := func() error { return nil }
-		switch *mode {
-		case "plain":
-			stack = mpi
-		case "record":
-			f, err := recorddir.CreateRankFile(*dir, rank)
-			if err != nil {
-				return err
-			}
-			enc, err := core.NewEncoder(f, core.EncoderOptions{})
-			if err != nil {
-				return err
-			}
-			rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{FlushInterval: *flush})
-			stack = rec
-			finish = func() error {
-				if err := rec.Close(); err != nil {
-					return err
-				}
-				mu.Lock()
-				recorded += enc.BytesWritten()
-				mu.Unlock()
-				return f.Close()
-			}
-		case "replay":
-			recFile, err := recorddir.LoadRank(*dir, rank)
-			if err != nil {
-				return err
-			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: salvaged})
-			stack = rp
-			finish = func() error {
-				if err := rp.Verify(); err != nil {
-					return err
-				}
-				if live, why := rp.Live(); live {
-					fmt.Fprintf(os.Stderr, "jacobi: rank %d: %s\n", rank, why)
-				}
-				return nil
-			}
-		default:
-			return fmt.Errorf("unknown mode %q", *mode)
+	app := func(rank int, mpi simmpi.MPI) error {
+		res, err := jacobi.Run(mpi, params)
+		if err != nil {
+			return err
 		}
-		res, rerr := jacobi.Run(stack, params)
-		if ferr := finish(); rerr == nil {
-			rerr = ferr
-		}
-		if rerr != nil {
-			return fmt.Errorf("rank %d: %w", rank, rerr)
-		}
-		mu.Lock()
 		if rank == 0 {
+			mu.Lock()
 			residual = res.Residual
+			mu.Unlock()
 		}
-		mu.Unlock()
 		return nil
-	})
+	}
+
+	var err error
+	var recorded int64
+	switch *mode {
+	case "plain":
+		err = w.RunRanked(app)
+	case "record":
+		opts := []cdc.Option{
+			cdc.WithApp("jacobi"),
+			cdc.WithParams(map[string]string{
+				"rows":  fmt.Sprint(*rows),
+				"cols":  fmt.Sprint(*cols),
+				"iters": fmt.Sprint(*iters),
+			}),
+			cdc.WithObs(reg),
+		}
+		if *flush > 0 {
+			opts = append(opts, cdc.WithFlushInterval(*flush))
+		}
+		var rep *cdc.RecordReport
+		rep, err = cdc.Record(w, *dir, app, opts...)
+		if err == nil {
+			recorded = rep.TotalBytes()
+		}
+	case "replay":
+		var rep *cdc.ReplayReport
+		rep, err = cdc.Replay(w, *dir, app, cdc.WithApp("jacobi"), cdc.WithObs(reg))
+		if err == nil {
+			if live, notes := rep.Live(); live {
+				for _, n := range notes {
+					fmt.Fprintf(os.Stderr, "jacobi: %s\n", n)
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
 		os.Exit(1)
-	}
-	if *mode == "record" {
-		if err := recorddir.Finalize(*dir); err != nil {
-			fmt.Fprintf(os.Stderr, "jacobi: %v\n", err)
-			os.Exit(1)
-		}
 	}
 	fmt.Printf("mode=%s ranks=%d grid=%dx%d iters=%d residual=%.6g\n",
 		*mode, *ranks, *rows, *cols, *iters, residual)

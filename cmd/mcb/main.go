@@ -7,6 +7,7 @@
 //	mcb -ranks 16 -particles 400                 # plain run
 //	mcb -ranks 16 -mode record -dir /tmp/rec     # record receive order
 //	mcb -ranks 16 -mode replay -dir /tmp/rec     # replay it exactly
+//	mcb -mode record -dir /tmp/rec -http :6060   # + live pipeline metrics
 //
 // The global tally printed at the end is order-sensitive: plain runs vary
 // from invocation to invocation, while a replay reproduces the recorded
@@ -19,13 +20,10 @@ import (
 	"os"
 	"sync"
 
-	"cdcreplay/internal/baseline"
-	"cdcreplay/internal/core"
-	"cdcreplay/internal/lamport"
+	"cdcreplay/cdc"
 	"cdcreplay/internal/mcb"
-	"cdcreplay/internal/record"
-	"cdcreplay/internal/recorddir"
-	"cdcreplay/internal/replay"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/obs/obshttp"
 	"cdcreplay/internal/simmpi"
 )
 
@@ -37,117 +35,84 @@ func main() {
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
 	flush := flag.Duration("flush", 0, "periodic chunk flush interval for record mode (0 = event-count flushing only)")
 	flushRows := flag.Int("flushrows", 0, "flush the record to storage every N rows (0 = only at close); bounds data lost to a crash")
-	durable := flag.Bool("durable", false, "fsync the record at every flush point (crash-consistent, slower)")
+	durable := flag.Bool("durable", false, "fsync the record at every flush point (crash-consistent, slower; requires -flush or -flushrows)")
 	seed := flag.Int64("seed", 0, "network noise seed (0 = arbitrary)")
+	httpAddr := flag.String("http", "", "serve live pipeline metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	if (*mode == "record" || *mode == "replay") && *dir == "" {
 		fmt.Fprintln(os.Stderr, "mcb: -dir is required for record/replay")
 		os.Exit(2)
 	}
-	params := mcb.Params{Particles: *particles, TimeSteps: *steps, Seed: 7}
-	var salvaged bool
-	switch *mode {
-	case "record":
-		err := recorddir.Create(*dir, recorddir.Manifest{
-			Ranks: *ranks,
-			App:   "mcb",
-			Params: map[string]string{
-				"particles": fmt.Sprint(*particles),
-				"steps":     fmt.Sprint(*steps),
-			},
-		})
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		addr, stop, err := obshttp.Serve(*httpAddr, reg.Snapshot)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
 			os.Exit(1)
 		}
-	case "replay":
-		m, err := recorddir.Open(*dir, "mcb", *ranks)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
-			os.Exit(1)
-		}
-		salvaged = m.Salvaged
+		defer stop()
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
 	}
-	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 8})
+	params := mcb.Params{Particles: *particles, TimeSteps: *steps, Seed: 7}
+	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 8, Obs: reg})
 
 	var mu sync.Mutex
 	var global mcb.Result
-	var liveNotes []string
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		var stack simmpi.MPI
-		var finish func() error
-		switch *mode {
-		case "plain":
-			stack, finish = mpi, func() error { return nil }
-		case "record":
-			f, err := recorddir.CreateRankFile(*dir, rank)
-			if err != nil {
-				return err
-			}
-			enc, err := core.NewEncoder(f, core.EncoderOptions{Durable: *durable})
-			if err != nil {
-				return err
-			}
-			rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc),
-				record.Options{FlushInterval: *flush, FlushEveryRows: *flushRows})
-			stack = rec
-			finish = func() error {
-				if err := rec.Close(); err != nil {
-					return err
-				}
-				return f.Close()
-			}
-		case "replay":
-			recFile, err := recorddir.LoadRank(*dir, rank)
-			if err != nil {
-				return err
-			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: salvaged})
-			stack = rp
-			finish = func() error {
-				if err := rp.Verify(); err != nil {
-					return err
-				}
-				if live, why := rp.Live(); live {
-					mu.Lock()
-					liveNotes = append(liveNotes, fmt.Sprintf("rank %d: %s", rank, why))
-					mu.Unlock()
-				}
-				return nil
-			}
-		default:
-			return fmt.Errorf("unknown mode %q", *mode)
+	app := func(rank int, mpi simmpi.MPI) error {
+		res, err := mcb.Run(mpi, params)
+		if err != nil {
+			return err
 		}
-		res, rerr := mcb.Run(stack, params)
-		if ferr := finish(); rerr == nil {
-			rerr = ferr
-		}
-		if rerr != nil {
-			return fmt.Errorf("rank %d: %w", rank, rerr)
-		}
-		mu.Lock()
 		if rank == 0 {
+			mu.Lock()
 			global = res
+			mu.Unlock()
 		}
-		mu.Unlock()
 		return nil
-	})
+	}
+
+	var err error
+	switch *mode {
+	case "plain":
+		err = w.RunRanked(app)
+	case "record":
+		opts := []cdc.Option{
+			cdc.WithApp("mcb"),
+			cdc.WithParams(map[string]string{
+				"particles": fmt.Sprint(*particles),
+				"steps":     fmt.Sprint(*steps),
+			}),
+			cdc.WithObs(reg),
+		}
+		if *flush > 0 {
+			opts = append(opts, cdc.WithFlushInterval(*flush))
+		}
+		if *flushRows > 0 {
+			opts = append(opts, cdc.WithFlushEveryRows(*flushRows))
+		}
+		if *durable {
+			opts = append(opts, cdc.WithDurable())
+		}
+		_, err = cdc.Record(w, *dir, app, opts...)
+	case "replay":
+		var rep *cdc.ReplayReport
+		rep, err = cdc.Replay(w, *dir, app, cdc.WithApp("mcb"), cdc.WithObs(reg))
+		if err == nil {
+			if live, notes := rep.Live(); live {
+				fmt.Println("replayed the salvaged record to its crash frontier; execution continued live:")
+				for _, n := range notes {
+					fmt.Println("  " + n)
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
 		os.Exit(1)
-	}
-	if *mode == "record" {
-		if err := recorddir.Finalize(*dir); err != nil {
-			fmt.Fprintf(os.Stderr, "mcb: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if len(liveNotes) > 0 {
-		fmt.Println("replayed the salvaged record to its crash frontier; execution continued live:")
-		for _, n := range liveNotes {
-			fmt.Println("  " + n)
-		}
 	}
 	fmt.Printf("mode=%s ranks=%d particles/rank=%d steps=%d\n", *mode, *ranks, *particles, *steps)
 	fmt.Printf("global tracks: %.0f  (%.0f tracks/sec)\n", global.GlobalTracks, global.TracksPerSec())

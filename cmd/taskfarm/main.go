@@ -9,6 +9,7 @@
 //	taskfarm -ranks 8 -tasks 64
 //	taskfarm -ranks 8 -tasks 64 -mode record -dir /tmp/farm
 //	taskfarm -ranks 8 -tasks 64 -mode replay -dir /tmp/farm
+//	taskfarm -mode record -dir /tmp/farm -http :6060   # + live metrics
 package main
 
 import (
@@ -17,12 +18,9 @@ import (
 	"os"
 	"sync"
 
-	"cdcreplay/internal/baseline"
-	"cdcreplay/internal/core"
-	"cdcreplay/internal/lamport"
-	"cdcreplay/internal/record"
-	"cdcreplay/internal/recorddir"
-	"cdcreplay/internal/replay"
+	"cdcreplay/cdc"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/obs/obshttp"
 	"cdcreplay/internal/simmpi"
 	"cdcreplay/internal/taskfarm"
 )
@@ -34,105 +32,70 @@ func main() {
 	mode := flag.String("mode", "plain", "plain|record|replay")
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
 	seed := flag.Int64("seed", 0, "network noise seed")
+	httpAddr := flag.String("http", "", "serve live pipeline metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	if (*mode == "record" || *mode == "replay") && *dir == "" {
 		fmt.Fprintln(os.Stderr, "taskfarm: -dir is required for record/replay")
 		os.Exit(2)
 	}
-	params := taskfarm.Params{Tasks: *tasks, Work: *work}
-	var salvaged bool
-	switch *mode {
-	case "record":
-		err := recorddir.Create(*dir, recorddir.Manifest{
-			Ranks: *ranks,
-			App:   "taskfarm",
-			Params: map[string]string{
-				"tasks": fmt.Sprint(*tasks),
-				"work":  fmt.Sprint(*work),
-			},
-		})
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		addr, stop, err := obshttp.Serve(*httpAddr, reg.Snapshot)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
 			os.Exit(1)
 		}
-	case "replay":
-		m, err := recorddir.Open(*dir, "taskfarm", *ranks)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
-			os.Exit(1)
-		}
-		salvaged = m.Salvaged
+		defer stop()
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
 	}
+	params := taskfarm.Params{Tasks: *tasks, Work: *work}
+	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 8, Obs: reg})
 
-	w := simmpi.NewWorld(*ranks, simmpi.Options{Seed: *seed, MaxJitter: 8})
 	var mu sync.Mutex
 	var master taskfarm.Result
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		var stack simmpi.MPI
-		finish := func() error { return nil }
-		switch *mode {
-		case "plain":
-			stack = mpi
-		case "record":
-			f, err := recorddir.CreateRankFile(*dir, rank)
-			if err != nil {
-				return err
-			}
-			enc, err := core.NewEncoder(f, core.EncoderOptions{})
-			if err != nil {
-				return err
-			}
-			rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
-			stack = rec
-			finish = func() error {
-				if err := rec.Close(); err != nil {
-					return err
-				}
-				return f.Close()
-			}
-		case "replay":
-			recFile, err := recorddir.LoadRank(*dir, rank)
-			if err != nil {
-				return err
-			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: salvaged})
-			stack = rp
-			finish = func() error {
-				if err := rp.Verify(); err != nil {
-					return err
-				}
-				if live, why := rp.Live(); live {
-					fmt.Fprintf(os.Stderr, "taskfarm: rank %d: %s\n", rank, why)
-				}
-				return nil
-			}
-		default:
-			return fmt.Errorf("unknown mode %q", *mode)
+	app := func(rank int, mpi simmpi.MPI) error {
+		res, err := taskfarm.Run(mpi, params)
+		if err != nil {
+			return err
 		}
-		res, rerr := taskfarm.Run(stack, params)
-		if ferr := finish(); rerr == nil {
-			rerr = ferr
-		}
-		if rerr != nil {
-			return fmt.Errorf("rank %d: %w", rank, rerr)
-		}
-		mu.Lock()
 		if rank == 0 {
+			mu.Lock()
 			master = res
+			mu.Unlock()
 		}
-		mu.Unlock()
 		return nil
-	})
+	}
+
+	var err error
+	switch *mode {
+	case "plain":
+		err = w.RunRanked(app)
+	case "record":
+		_, err = cdc.Record(w, *dir, app,
+			cdc.WithApp("taskfarm"),
+			cdc.WithParams(map[string]string{
+				"tasks": fmt.Sprint(*tasks),
+				"work":  fmt.Sprint(*work),
+			}),
+			cdc.WithObs(reg))
+	case "replay":
+		var rep *cdc.ReplayReport
+		rep, err = cdc.Replay(w, *dir, app, cdc.WithApp("taskfarm"), cdc.WithObs(reg))
+		if err == nil {
+			if live, notes := rep.Live(); live {
+				for _, n := range notes {
+					fmt.Fprintf(os.Stderr, "taskfarm: %s\n", n)
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
 		os.Exit(1)
-	}
-	if *mode == "record" {
-		if err := recorddir.Finalize(*dir); err != nil {
-			fmt.Fprintf(os.Stderr, "taskfarm: %v\n", err)
-			os.Exit(1)
-		}
 	}
 	fmt.Printf("mode=%s ranks=%d tasks=%d\n", *mode, *ranks, *tasks)
 	fmt.Printf("reduction: %.17g\n", master.Reduction)

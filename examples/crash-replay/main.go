@@ -25,13 +25,13 @@ import (
 	"os"
 	"sync"
 
+	"cdcreplay/cdc"
 	"cdcreplay/internal/baseline"
 	"cdcreplay/internal/core"
 	"cdcreplay/internal/lamport"
 	"cdcreplay/internal/mcb"
 	"cdcreplay/internal/record"
 	"cdcreplay/internal/recorddir"
-	"cdcreplay/internal/replay"
 	"cdcreplay/internal/simmpi"
 )
 
@@ -123,49 +123,38 @@ func main() {
 	fmt.Println()
 
 	// ---- Replay the salvaged record to the crash point, then continue. ----
-	m, err := recorddir.Open(salvDir, "mcb", ranks)
-	if err != nil {
-		log.Fatalf("open salvaged record: %v", err)
-	}
-	fmt.Printf("salvaged directory opens cleanly (salvaged=%v); replaying on a different network...\n", m.Salvaged)
-
+	// cdc.Replay opens and validates the salvaged directory itself; a
+	// Salvaged manifest automatically enables live continuation past each
+	// rank's crash frontier.
 	w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: 99, MaxJitter: 8})
-	var liveNotes []string
-	var replayed, live uint64
 	var tally float64
-	err = w2.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		recFile, err := recorddir.LoadRank(salvDir, rank)
+	rrep, err := cdc.Replay(w2, salvDir, func(rank int, mpi simmpi.MPI) error {
+		res, err := mcb.Run(mpi, params)
 		if err != nil {
 			return err
 		}
-		rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{LiveAfterExhausted: m.Salvaged})
-		res, rerr := mcb.Run(rp, params)
-		if rerr != nil {
-			return rerr
-		}
-		if err := rp.Verify(); err != nil {
-			return err
-		}
-		st := rp.Stats()
-		mu.Lock()
-		replayed += st.Released
-		live += st.LiveReleases
-		if isLive, note := rp.Live(); isLive {
-			liveNotes = append(liveNotes, fmt.Sprintf("rank %d: %s", rank, note))
-		}
 		if rank == 0 {
+			mu.Lock()
 			tally = res.GlobalTally
+			mu.Unlock()
 		}
-		mu.Unlock()
 		return nil
-	})
+	}, cdc.WithApp("mcb"))
 	if err != nil {
 		log.Fatalf("replay run: %v", err)
 	}
+	fmt.Printf("salvaged directory opened cleanly (salvaged=%v); replayed on a different network\n", rrep.Salvaged)
+	var replayed, live uint64
+	for _, rr := range rrep.Ranks {
+		replayed += rr.Stats.Released
+		live += rr.Stats.LiveReleases
+	}
 	fmt.Printf("replay completed: %d receives replayed in recorded order, %d delivered live past the frontier\n",
 		replayed, live)
-	for _, n := range liveNotes {
-		fmt.Printf("  %s\n", n)
+	if isLive, notes := rrep.Live(); isLive {
+		for _, n := range notes {
+			fmt.Printf("  %s\n", n)
+		}
 	}
 	fmt.Printf("final tally %.17g — the crashed run's prefix was reproduced exactly, then execution ran on\n", tally)
 }

@@ -14,18 +14,15 @@
 package main
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 
-	"cdcreplay/internal/baseline"
-	"cdcreplay/internal/core"
-	"cdcreplay/internal/lamport"
+	"cdcreplay/cdc"
 	"cdcreplay/internal/mcb"
-	"cdcreplay/internal/record"
-	"cdcreplay/internal/replay"
 	"cdcreplay/internal/simmpi"
 )
 
@@ -62,71 +59,55 @@ type runOutcome struct {
 	failed bool
 }
 
-func runRecorded(seed int64) (runOutcome, [][]byte, error) {
-	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
-	files := make([][]byte, ranks)
-	var out runOutcome
-	var mu sync.Mutex
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		buf := &bytes.Buffer{}
-		enc, err := core.NewEncoder(buf, core.EncoderOptions{})
-		if err != nil {
+// appUnderStudy adapts buggyApp to a cdc.App: the simulated assertion is an
+// application outcome to observe, not a session failure, so the record must
+// still close and finalize cleanly when it trips.
+func appUnderStudy(out *runOutcome, mu *sync.Mutex) cdc.App {
+	return func(rank int, mpi simmpi.MPI) error {
+		tally, err := buggyApp(mpi)
+		if rank == 0 {
+			mu.Lock()
+			out.tally = tally
+			out.failed = errors.Is(err, errBug)
+			mu.Unlock()
+		}
+		if err != nil && !errors.Is(err, errBug) {
 			return err
 		}
-		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
-		tally, aerr := buggyApp(rec)
-		if cerr := rec.Close(); cerr != nil {
-			return cerr
-		}
-		mu.Lock()
-		files[rank] = buf.Bytes()
-		if rank == 0 {
-			out.tally = tally
-			out.failed = errors.Is(aerr, errBug)
-		}
-		mu.Unlock()
-		if aerr != nil && !errors.Is(aerr, errBug) {
-			return aerr
-		}
 		return nil
-	})
-	return out, files, err
+	}
 }
 
-func replayRecorded(files [][]byte, seed int64) (runOutcome, error) {
+func runRecorded(dir string, seed int64) (runOutcome, error) {
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
 	var out runOutcome
 	var mu sync.Mutex
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		recFile, err := core.ReadRecord(bytes.NewReader(files[rank]))
-		if err != nil {
-			return err
-		}
-		rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
-		tally, aerr := buggyApp(rp)
-		if verr := rp.Verify(); verr != nil {
-			return verr
-		}
-		mu.Lock()
-		if rank == 0 {
-			out.tally = tally
-			out.failed = errors.Is(aerr, errBug)
-		}
-		mu.Unlock()
-		if aerr != nil && !errors.Is(aerr, errBug) {
-			return aerr
-		}
-		return nil
-	})
+	_, err := cdc.Record(w, dir, appUnderStudy(&out, &mu), cdc.WithApp("heisenbug"))
+	return out, err
+}
+
+func replayRecorded(dir string, seed int64) (runOutcome, error) {
+	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
+	var out runOutcome
+	var mu sync.Mutex
+	_, err := cdc.Replay(w, dir, appUnderStudy(&out, &mu), cdc.WithApp("heisenbug"))
 	return out, err
 }
 
 func main() {
-	// Phase 1: run with recording on until the bug manifests.
-	var failing [][]byte
+	tmp, err := os.MkdirTemp("", "cdc-heisenbug-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "rec")
+
+	// Phase 1: run with recording on until the bug manifests. Each attempt
+	// overwrites the record directory; the loop stops at the failing one.
 	var recorded runOutcome
+	caught := false
 	for attempt := 1; attempt <= 50; attempt++ {
-		out, files, err := runRecorded(int64(attempt))
+		out, err := runRecorded(dir, int64(attempt))
 		if err != nil {
 			log.Fatalf("run %d: %v", attempt, err)
 		}
@@ -136,11 +117,11 @@ func main() {
 		}
 		fmt.Printf("recorded run %2d: tally %.17g  %s\n", attempt, out.tally, status)
 		if out.failed {
-			failing, recorded = files, out
+			recorded, caught = out, true
 			break
 		}
 	}
-	if failing == nil {
+	if !caught {
 		fmt.Println("the bug did not manifest in 50 runs; try again (it is a heisenbug, after all)")
 		return
 	}
@@ -148,7 +129,7 @@ func main() {
 	// Phase 2: replay the failing record deterministically.
 	fmt.Println("\nreplaying the failing record three times on differently-timed networks:")
 	for i, seed := range []int64{901, 902, 903} {
-		out, err := replayRecorded(failing, seed)
+		out, err := replayRecorded(dir, seed)
 		if err != nil {
 			log.Fatalf("replay %d: %v", i, err)
 		}

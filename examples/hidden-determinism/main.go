@@ -7,23 +7,30 @@
 // deterministic communications are automatically excluded from recording"
 // — and that the solver still replays exactly.
 //
+// The record side drops below the public cdc facade on purpose: comparing
+// two compression backends over the *identical* event stream needs a tee
+// into both, which is an internal-API affair. The replay side uses
+// cdc.Replay like any other consumer.
+//
 // Run:
 //
 //	go run ./examples/hidden-determinism
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 
+	"cdcreplay/cdc"
 	"cdcreplay/internal/baseline"
 	"cdcreplay/internal/core"
 	"cdcreplay/internal/jacobi"
 	"cdcreplay/internal/lamport"
 	"cdcreplay/internal/record"
-	"cdcreplay/internal/replay"
+	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/simmpi"
 	"cdcreplay/internal/tables"
 )
@@ -33,17 +40,29 @@ const ranks = 8
 var params = jacobi.Params{Rows: 12, Cols: 24, Iterations: 400}
 
 func main() {
+	tmp, err := os.MkdirTemp("", "cdc-hidden-determinism-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "rec")
+
 	// Record with a CDC backend and, over the identical event stream, a
 	// gzip backend for comparison.
+	if err := recorddir.Create(dir, recorddir.Manifest{Ranks: ranks, App: "jacobi"}); err != nil {
+		log.Fatal(err)
+	}
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: 5, MaxJitter: 6})
-	files := make([][]byte, ranks)
 	var cdcBytes, gzipBytes int64
 	var events uint64
 	checks := make([]float64, ranks)
 	var mu sync.Mutex
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		buf := &bytes.Buffer{}
-		enc, err := core.NewEncoder(buf, core.EncoderOptions{})
+	err = w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		f, err := recorddir.CreateRankFile(dir, rank)
+		if err != nil {
+			return err
+		}
+		enc, err := core.NewEncoder(f, core.EncoderOptions{})
 		if err != nil {
 			return err
 		}
@@ -55,12 +74,14 @@ func main() {
 		if cerr := rec.Close(); rerr == nil {
 			rerr = cerr
 		}
+		if ferr := f.Close(); rerr == nil {
+			rerr = ferr
+		}
 		if rerr != nil {
 			return rerr
 		}
 		mu.Lock()
-		files[rank] = buf.Bytes()
-		cdcBytes += int64(buf.Len())
+		cdcBytes += enc.BytesWritten()
 		gzipBytes += gz.BytesWritten()
 		events += enc.Stats().MatchedEvents
 		checks[rank] = res.Checksum
@@ -69,6 +90,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("record run: %v", err)
+	}
+	if err := recorddir.Finalize(dir); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("Jacobi, %d ranks, %d iterations, %d wildcard halo receives\n",
@@ -79,24 +103,16 @@ func main() {
 
 	// Replay to prove the record drives the solver exactly.
 	w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: 77, MaxJitter: 6})
-	err = w2.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		recFile, err := core.ReadRecord(bytes.NewReader(files[rank]))
+	_, err = cdc.Replay(w2, dir, func(rank int, mpi simmpi.MPI) error {
+		res, err := jacobi.Run(mpi, params)
 		if err != nil {
-			return err
-		}
-		rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
-		res, rerr := jacobi.Run(rp, params)
-		if rerr != nil {
-			return rerr
-		}
-		if err := rp.Verify(); err != nil {
 			return err
 		}
 		if res.Checksum != checks[rank] {
 			return fmt.Errorf("rank %d replay checksum differs", rank)
 		}
 		return nil
-	})
+	}, cdc.WithApp("jacobi"))
 	if err != nil {
 		log.Fatalf("replay run: %v", err)
 	}

@@ -13,17 +13,14 @@
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 
-	"cdcreplay/internal/baseline"
-	"cdcreplay/internal/core"
-	"cdcreplay/internal/lamport"
+	"cdcreplay/cdc"
 	"cdcreplay/internal/mcb"
-	"cdcreplay/internal/record"
-	"cdcreplay/internal/replay"
 	"cdcreplay/internal/simmpi"
 )
 
@@ -58,66 +55,57 @@ func main() {
 	fmt.Printf("  run B tally: %.17g\n", t2)
 	fmt.Printf("  identical: %v  ← the §2.1 reproducibility problem\n\n", t1 == t2)
 
+	tmp, err := os.MkdirTemp("", "cdc-mcb-replay-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "rec")
+
 	// Record one run.
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: 3, MaxJitter: 8})
-	files := make([][]byte, ranks)
 	var recTally float64
-	var bytesTotal int64
-	var events uint64
 	var mu sync.Mutex
-	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		buf := &bytes.Buffer{}
-		enc, err := core.NewEncoder(buf, core.EncoderOptions{})
+	report, err := cdc.Record(w, dir, func(rank int, mpi simmpi.MPI) error {
+		res, err := mcb.Run(mpi, params)
 		if err != nil {
 			return err
 		}
-		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
-		res, rerr := mcb.Run(rec, params)
-		if cerr := rec.Close(); rerr == nil {
-			rerr = cerr
-		}
-		mu.Lock()
-		files[rank] = buf.Bytes()
-		bytesTotal += int64(buf.Len())
-		events += enc.Stats().MatchedEvents
 		if rank == 0 {
+			mu.Lock()
 			recTally = res.GlobalTally
+			mu.Unlock()
 		}
-		mu.Unlock()
-		return rerr
-	})
+		return nil
+	}, cdc.WithApp("mcb"))
 	if err != nil {
 		log.Fatalf("record run: %v", err)
 	}
+	var events uint64
+	for _, rr := range report.Ranks {
+		events += rr.Encoder.MatchedEvents
+	}
 	fmt.Printf("recorded run tally: %.17g\n", recTally)
 	fmt.Printf("record: %d bytes total for %d receive events (%.3f bytes/event)\n\n",
-		bytesTotal, events, float64(bytesTotal)/float64(events))
+		report.TotalBytes(), events, float64(report.TotalBytes())/float64(events))
 
 	// Replay it twice on different networks: the tally must match exactly
 	// both times.
 	for _, seed := range []int64{50, 51} {
 		w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 8})
 		var repTally float64
-		err = w2.RunRanked(func(rank int, mpi simmpi.MPI) error {
-			recFile, err := core.ReadRecord(bytes.NewReader(files[rank]))
+		_, err := cdc.Replay(w2, dir, func(rank int, mpi simmpi.MPI) error {
+			res, err := mcb.Run(mpi, params)
 			if err != nil {
 				return err
 			}
-			rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
-			res, rerr := mcb.Run(rp, params)
-			if rerr != nil {
-				return rerr
-			}
-			if err := rp.Verify(); err != nil {
-				return err
-			}
-			mu.Lock()
 			if rank == 0 {
+				mu.Lock()
 				repTally = res.GlobalTally
+				mu.Unlock()
 			}
-			mu.Unlock()
 			return nil
-		})
+		}, cdc.WithApp("mcb"))
 		if err != nil {
 			log.Fatalf("replay run: %v", err)
 		}

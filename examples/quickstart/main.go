@@ -7,22 +7,23 @@
 // replayer the same program observes the identical order again, on a
 // network with completely different timing.
 //
+// The whole session runs through the public cdc facade: cdc.Record writes
+// a record directory (one file per rank plus a manifest), cdc.Replay
+// validates and replays it.
+//
 // Run:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 
-	"cdcreplay/internal/baseline"
-	"cdcreplay/internal/core"
-	"cdcreplay/internal/lamport"
-	"cdcreplay/internal/record"
-	"cdcreplay/internal/replay"
+	"cdcreplay/cdc"
 	"cdcreplay/internal/simmpi"
 )
 
@@ -60,30 +61,29 @@ func app(mpi simmpi.MPI) ([]string, error) {
 }
 
 func main() {
+	tmp, err := os.MkdirTemp("", "cdc-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "rec")
+
 	// --- Record ---------------------------------------------------------
 	world := simmpi.NewWorld(ranks, simmpi.Options{Seed: 1, MaxJitter: 10})
-	records := make([]*bytes.Buffer, ranks)
 	var recorded []string
 	var mu sync.Mutex
-	err := world.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		buf := &bytes.Buffer{}
-		enc, err := core.NewEncoder(buf, core.EncoderOptions{})
+	report, err := cdc.Record(world, dir, func(rank int, mpi simmpi.MPI) error {
+		order, err := app(mpi)
 		if err != nil {
 			return err
 		}
-		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{})
-		order, aerr := app(rec)
-		if cerr := rec.Close(); aerr == nil {
-			aerr = cerr
-		}
-		mu.Lock()
-		records[rank] = buf
 		if rank == 0 {
+			mu.Lock()
 			recorded = order
+			mu.Unlock()
 		}
-		mu.Unlock()
-		return aerr
-	})
+		return nil
+	}, cdc.WithApp("quickstart"))
 	if err != nil {
 		log.Fatalf("record run: %v", err)
 	}
@@ -92,31 +92,23 @@ func main() {
 		fmt.Printf("  %2d: %s\n", i, m)
 	}
 	fmt.Printf("record size for rank 0: %d bytes (%d receive events)\n\n",
-		records[0].Len(), totalToReceive)
+		report.Ranks[0].Bytes, totalToReceive)
 
 	// --- Replay on a different network ----------------------------------
 	world2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: 99, MaxJitter: 10})
 	var replayed []string
-	err = world2.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		recFile, err := core.ReadRecord(bytes.NewReader(records[rank].Bytes()))
+	_, err = cdc.Replay(world2, dir, func(rank int, mpi simmpi.MPI) error {
+		order, err := app(mpi)
 		if err != nil {
 			return err
 		}
-		rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
-		order, aerr := app(rp)
-		if aerr != nil {
-			return aerr
-		}
-		if err := rp.Verify(); err != nil {
-			return err
-		}
-		mu.Lock()
 		if rank == 0 {
+			mu.Lock()
 			replayed = order
+			mu.Unlock()
 		}
-		mu.Unlock()
 		return nil
-	})
+	}, cdc.WithApp("quickstart"))
 	if err != nil {
 		log.Fatalf("replay run: %v", err)
 	}

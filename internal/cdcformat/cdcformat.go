@@ -477,3 +477,96 @@ func (c *Chunk) ReconstructEvents(msgs []tables.MatchedEntry) ([]tables.Event, e
 	}
 	return red.Restore(), nil
 }
+
+// StageSizes reports the serialized byte size of one chunk's event set at
+// the three in-memory CDC pipeline stages, for the per-stage byte
+// accounting the obs layer exposes (DESIGN.md §8):
+//
+//	re — redundancy elimination only (paper §3.2): the reduced tables with
+//	     the matched (rank, clock) column stored explicitly, plain varints;
+//	pe — permutation encoding (§3.3): the matched column replaced by the
+//	     permutation-difference moves plus the epoch line, index columns
+//	     still plain varints;
+//	lp — linear predictive encoding (§3.4) applied to the index columns:
+//	     exactly the bytes Marshal produces.
+//
+// The final gzip stage is accounted by the storage writer
+// (core.FrameWriter.BytesWritten), where the cross-chunk stream lives.
+func StageSizes(events []tables.Event, c *Chunk) (re, pe, lp int) {
+	// Tables shared by every stage, always plain varints.
+	shared := varint.UintSize(uint64(len(c.WithNext))) +
+		varint.UintSize(uint64(len(c.Unmatched)))
+	for _, u := range c.Unmatched {
+		shared += varint.UintSize(u.Count)
+	}
+
+	// Stage 1 — RE: matched identifiers explicit, index columns plain.
+	re = varint.UintSize(c.NumMatched) + shared
+	for _, ev := range events {
+		if ev.Flag {
+			re += varint.UintSize(uint64(uint32(ev.Rank))) + varint.UintSize(ev.Clock)
+		}
+	}
+	for _, i := range c.WithNext {
+		re += varint.IntSize(i)
+	}
+	for _, u := range c.Unmatched {
+		re += varint.IntSize(u.Index)
+	}
+
+	// Columns PE introduces and both later stages carry.
+	peTail := varint.UintSize(uint64(len(c.EpochLine))) +
+		varint.UintSize(uint64(len(c.TiedClocks))) +
+		varint.UintSize(uint64(len(c.Senders))) +
+		varint.UintSize(uint64(len(c.Tags))) +
+		varint.UintSize(uint64(len(c.Exceptions)))
+	for _, e := range c.EpochLine {
+		peTail += varint.UintSize(e.Clock)
+	}
+	prev := uint64(0)
+	for _, t := range c.TiedClocks {
+		peTail += varint.UintSize(t.Clock-prev) + varint.UintSize(t.Count)
+		prev = t.Clock
+	}
+	for _, s := range c.Senders {
+		peTail += varint.UintSize(uint64(uint32(s)))
+	}
+	for _, t := range c.Tags {
+		peTail += varint.UintSize(uint64(uint32(t)))
+	}
+	for _, e := range c.Exceptions {
+		peTail += varint.UintSize(uint64(uint32(e.Rank))) + varint.UintSize(e.Clock)
+	}
+
+	head := varint.UintSize(c.Callsite) + varint.UintSize(c.NumMatched) +
+		varint.UintSize(uint64(len(c.Moves)))
+	delays := 0
+	for _, m := range c.Moves {
+		delays += varint.IntSize(m.Delay)
+	}
+
+	// The four index columns LPE transforms, as plain and as LP'd bytes.
+	moveIdx := make([]int64, len(c.Moves))
+	for i, m := range c.Moves {
+		moveIdx[i] = m.ObservedIndex
+	}
+	unmatchedIdx := make([]int64, len(c.Unmatched))
+	for i, u := range c.Unmatched {
+		unmatchedIdx[i] = u.Index
+	}
+	epochRanks := make([]int64, len(c.EpochLine))
+	for i, e := range c.EpochLine {
+		epochRanks[i] = int64(e.Rank)
+	}
+	plainCols, lpCols := 0, 0
+	for _, col := range [][]int64{moveIdx, c.WithNext, unmatchedIdx, epochRanks} {
+		lpCols += lpe.EncodedSize(col)
+		for _, v := range col {
+			plainCols += varint.IntSize(v)
+		}
+	}
+
+	pe = head + delays + shared + peTail + plainCols
+	lp = head + delays + shared + peTail + lpCols
+	return re, pe, lp
+}

@@ -317,3 +317,21 @@ func TestQuickMarshalRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestStageSizesLPMatchesMarshal pins the stage accounting to reality: the
+// lp stage is defined as "exactly the bytes Marshal produces", so any drift
+// between StageSizes and the wire format is a bug in one of them.
+func TestStageSizesLPMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		events := randomEvents(rng, 1+rng.Intn(60))
+		c := BuildChunk(uint64(trial), events)
+		re, pe, lp := StageSizes(events, c)
+		if got := len(c.Marshal(nil)); lp != got {
+			t.Fatalf("trial %d: StageSizes lp = %d, Marshal produced %d bytes", trial, lp, got)
+		}
+		if re <= 0 || pe <= 0 || lp <= 0 {
+			t.Fatalf("trial %d: non-positive stage size re=%d pe=%d lp=%d", trial, re, pe, lp)
+		}
+	}
+}

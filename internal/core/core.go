@@ -40,6 +40,7 @@ import (
 	"io"
 
 	"cdcreplay/internal/cdcformat"
+	"cdcreplay/internal/obs"
 	"cdcreplay/internal/tables"
 	"cdcreplay/internal/varint"
 )
@@ -77,6 +78,11 @@ type EncoderOptions struct {
 	// every flush point and on close, so a machine crash loses at most the
 	// events since the last FlushAll.
 	Durable bool
+	// Obs, when non-nil, receives per-stage pipeline metrics (encode.*
+	// names, DESIGN.md §8): byte counts after redundancy elimination,
+	// permutation encoding, LP encoding, and gzip. Stage sizing does a
+	// little extra work per chunk flush; a nil registry skips it entirely.
+	Obs *obs.Registry
 }
 
 func (o *EncoderOptions) fill() {
@@ -253,7 +259,26 @@ type Encoder struct {
 	stats   Stats
 	scratch []byte
 	closed  bool
+
+	// obs instruments, nil when Options.Obs is nil. mLPE doubles as the
+	// "stage sizing enabled" flag: computing RE/PE sizes costs a pass over
+	// the chunk, which a disabled registry must not pay.
+	mChunks *obs.Counter
+	mRaw    *obs.Counter
+	mRE     *obs.Counter
+	mPE     *obs.Counter
+	mLPE    *obs.Counter
+	mGzip   *obs.Counter
+	obsReg  *obs.Registry
+	// gzipReported is how much of fw.BytesWritten() has been added to
+	// mGzip, so the shared-registry counter sums correctly across the
+	// world's per-rank encoders.
+	gzipReported int64
 }
+
+// rawBitsPerRow is the paper's uncompressed record-row accounting
+// (baseline.BitsPerEvent; duplicated here because baseline imports core).
+const rawBitsPerRow = 162
 
 type pendingStream struct {
 	events  []tables.Event
@@ -270,12 +295,22 @@ func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Encoder{
+	e := &Encoder{
 		opts:    opts,
 		fw:      fw,
 		pending: make(map[uint64]*pendingStream),
 		named:   make(map[uint64]bool),
-	}, nil
+	}
+	if reg := opts.Obs; reg != nil {
+		e.obsReg = reg
+		e.mChunks = reg.Counter("encode.chunks")
+		e.mRaw = reg.Counter("encode.bytes.raw")
+		e.mRE = reg.Counter("encode.bytes.re")
+		e.mPE = reg.Counter("encode.bytes.pe")
+		e.mLPE = reg.Counter("encode.bytes.lpe")
+		e.mGzip = reg.Counter("encode.bytes.gzip")
+	}
+	return e, nil
 }
 
 // RegisterCallsite records a human-readable name for a callsite ID
@@ -352,6 +387,16 @@ func (e *Encoder) flush(callsite uint64, ps *pendingStream) error {
 			ps.frontier[ep.Rank] = ep.Clock
 		}
 	}
+	if e.mLPE != nil {
+		span := e.obsReg.StartSpan("encode.chunk")
+		re, pe, lp := cdcformat.StageSizes(ps.events, chunk)
+		e.mChunks.Inc()
+		e.mRaw.Add(uint64(len(ps.events)) * rawBitsPerRow / 8)
+		e.mRE.Add(uint64(re))
+		e.mPE.Add(uint64(pe))
+		e.mLPE.Add(uint64(lp))
+		span.End()
+	}
 	ps.events = ps.events[:0]
 	ps.matched = 0
 	e.stats.Chunks++
@@ -396,10 +441,14 @@ func (e *Encoder) FlushAll(clock uint64) error {
 		}
 	}
 	if skipped {
-		return e.fw.Flush()
+		err := e.fw.Flush()
+		e.reportGzipBytes()
+		return err
 	}
 	e.stats.FlushPoints++
-	return e.fw.FlushPoint(e.clock)
+	err := e.fw.FlushPoint(e.clock)
+	e.reportGzipBytes()
+	return err
 }
 
 // Close flushes every pending stream and finalizes the gzip stream (whose
@@ -415,7 +464,23 @@ func (e *Encoder) Close() error {
 		}
 	}
 	e.stats.FlushPoints++
-	return e.fw.Close(e.clock)
+	err := e.fw.Close(e.clock)
+	e.reportGzipBytes()
+	return err
+}
+
+// reportGzipBytes adds the not-yet-reported compressed output to the
+// encode.bytes.gzip counter. Deltas (rather than a gauge of the total) let
+// every rank's encoder share one registry and still sum to the world's
+// total record size.
+func (e *Encoder) reportGzipBytes() {
+	if e.mGzip == nil {
+		return
+	}
+	if n := e.fw.BytesWritten(); n > e.gzipReported {
+		e.mGzip.Add(uint64(n - e.gzipReported))
+		e.gzipReported = n
+	}
 }
 
 // BytesWritten reports the compressed bytes emitted so far (exact after

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cdcreplay/cdc"
+	"cdcreplay/internal/jacobi"
+	"cdcreplay/internal/mcb"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/taskfarm"
+)
+
+// StageBytes are the per-stage byte totals of one recorded workload,
+// summed over ranks: the same event stream sized after each pipeline
+// stage (DESIGN.md §8 stage boundaries).
+type StageBytes struct {
+	// Raw is the uncompressed accounting (162 bits per row, paper Fig. 4).
+	Raw uint64 `json:"raw"`
+	// RE is after redundancy elimination (Fig. 6 tables, plain varints).
+	RE uint64 `json:"re"`
+	// PE is after permutation encoding (moves vs the reference order).
+	PE uint64 `json:"pe"`
+	// LPE is after linear predictive encoding of the index columns.
+	LPE uint64 `json:"lpe"`
+	// Gzip is the final on-disk size (stream-level, includes framing).
+	Gzip uint64 `json:"gzip"`
+}
+
+// StageRatios are stage-over-stage compression ratios (input ÷ output;
+// > 1 means the stage shrank the record) plus the end-to-end total.
+type StageRatios struct {
+	RE    float64 `json:"re"`
+	PE    float64 `json:"pe"`
+	LPE   float64 `json:"lpe"`
+	Gzip  float64 `json:"gzip"`
+	Total float64 `json:"total"`
+}
+
+func ratios(b StageBytes) StageRatios {
+	div := func(a, b uint64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	return StageRatios{
+		RE:    div(b.Raw, b.RE),
+		PE:    div(b.RE, b.PE),
+		LPE:   div(b.PE, b.LPE),
+		Gzip:  div(b.LPE, b.Gzip),
+		Total: div(b.Raw, b.Gzip),
+	}
+}
+
+// QueueMetrics summarize the observe queue (§4.2, §6.2) over the run.
+type QueueMetrics struct {
+	// Enqueued counts rows accepted by the SPSC ring across ranks.
+	Enqueued uint64 `json:"enqueued"`
+	// Stalls counts blocking enqueues that found the ring full.
+	Stalls uint64 `json:"stalls"`
+	// DepthMax is the peak buffered backlog any rank's CDC thread let
+	// build up.
+	DepthMax int64 `json:"depth_max"`
+}
+
+// FlushMetrics summarize the CDC thread's storage flushes.
+type FlushMetrics struct {
+	// Count is the number of flush-all passes.
+	Count uint64 `json:"count"`
+	// MeanNs and MaxNs characterize flush latency; P99Ns is the bucketed
+	// upper bound on the 99th percentile.
+	MeanNs float64 `json:"mean_ns"`
+	P99Ns  uint64  `json:"p99_ns"`
+	MaxNs  uint64  `json:"max_ns"`
+}
+
+// NetMetrics summarize the simulated network's delivery behaviour.
+type NetMetrics struct {
+	// Messages counts deposited messages world-wide.
+	Messages uint64 `json:"messages"`
+	// JitterMeanTicks is the mean drawn delivery delay.
+	JitterMeanTicks float64 `json:"jitter_mean_ticks"`
+	// InflightMax is the peak single-mailbox backlog.
+	InflightMax int64 `json:"inflight_max"`
+}
+
+// PipelineWorkload is one workload's full pipeline observability capture.
+type PipelineWorkload struct {
+	Name   string       `json:"name"`
+	Ranks  int          `json:"ranks"`
+	Rows   uint64       `json:"rows"`
+	Chunks uint64       `json:"chunks"`
+	Bytes  StageBytes   `json:"bytes"`
+	Ratios StageRatios  `json:"ratios"`
+	Queue  QueueMetrics `json:"queue"`
+	Flush  FlushMetrics `json:"flush"`
+	Net    NetMetrics   `json:"net"`
+}
+
+// PipelineResult is the machine-readable BENCH_pipeline.json payload: one
+// entry per workload, each recorded under a fresh obs.Registry so the
+// numbers are exactly that workload's.
+type PipelineResult struct {
+	Seed      int64              `json:"seed"`
+	Full      bool               `json:"full"`
+	Workloads []PipelineWorkload `json:"workloads"`
+}
+
+// Validate checks the capture is usable as a regression gate: every
+// workload must have observed rows and a positive ratio at every stage.
+// A zero ratio means a stage's byte counter never moved — instrumentation
+// came unwired somewhere.
+func (r *PipelineResult) Validate() error {
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("pipeline: no workloads captured")
+	}
+	for _, w := range r.Workloads {
+		if w.Rows == 0 {
+			return fmt.Errorf("pipeline: workload %s observed no rows", w.Name)
+		}
+		stages := map[string]float64{
+			"re": w.Ratios.RE, "pe": w.Ratios.PE, "lpe": w.Ratios.LPE,
+			"gzip": w.Ratios.Gzip, "total": w.Ratios.Total,
+		}
+		for stage, v := range stages {
+			if v <= 0 {
+				return fmt.Errorf("pipeline: workload %s has ratio %s = %v (stage byte counter never moved)", w.Name, stage, v)
+			}
+		}
+		if w.Queue.Enqueued == 0 {
+			return fmt.Errorf("pipeline: workload %s recorded no queue enqueues", w.Name)
+		}
+		if w.Flush.Count == 0 {
+			return fmt.Errorf("pipeline: workload %s recorded no flushes", w.Name)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the result to path (indented, trailing newline).
+func (r *PipelineResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// workloadFromSnapshot maps the DESIGN.md §8 metric names into the report
+// shape.
+func workloadFromSnapshot(name string, ranks int, s obs.Snapshot) PipelineWorkload {
+	bytes := StageBytes{
+		Raw:  s.Counter("encode.bytes.raw"),
+		RE:   s.Counter("encode.bytes.re"),
+		PE:   s.Counter("encode.bytes.pe"),
+		LPE:  s.Counter("encode.bytes.lpe"),
+		Gzip: s.Counter("encode.bytes.gzip"),
+	}
+	flush := s.Histogram("record.flush.ns")
+	jitter := s.Histogram("net.jitter.ticks")
+	return PipelineWorkload{
+		Name:   name,
+		Ranks:  ranks,
+		Rows:   s.Counter("record.rows"),
+		Chunks: s.Counter("encode.chunks"),
+		Bytes:  bytes,
+		Ratios: ratios(bytes),
+		Queue: QueueMetrics{
+			Enqueued: s.Counter("record.queue.enqueued"),
+			Stalls:   s.Counter("record.queue.stalls"),
+			DepthMax: s.Gauge("record.queue.depth").Max,
+		},
+		Flush: FlushMetrics{
+			Count:  s.Counter("record.flushes"),
+			MeanNs: flush.Mean(),
+			P99Ns:  flush.Quantile(0.99),
+			MaxNs:  flush.Max,
+		},
+		Net: NetMetrics{
+			Messages:        s.Counter("net.messages"),
+			JitterMeanTicks: jitter.Mean(),
+			InflightMax:     s.Gauge("net.inflight").Max,
+		},
+	}
+}
+
+// Pipeline records each benchmark workload under a fully-instrumented CDC
+// stack (fresh registry per workload) and reports per-stage byte counts,
+// compression ratios, queue behaviour, flush latency, and network jitter.
+// cfg.OnRegistry, when set, observes each workload's live registry while
+// it runs (the cdcbench -http hook).
+func Pipeline(cfg Config) (*PipelineResult, error) {
+	cfg.fill()
+	result := &PipelineResult{Seed: cfg.Seed, Full: cfg.Full}
+	dir, err := os.MkdirTemp("", "cdc-pipeline-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	type workload struct {
+		name      string
+		ranks     int
+		flushRows int // cadence scaled so every workload exercises mid-run flushes
+		app       cdc.App
+	}
+	mcbParams := mcb.Params{Particles: cfg.pick(150, 400), TimeSteps: 2, Seed: 7, CrossProb: 0.4}
+	jacParams := jacobi.Params{Rows: 12, Cols: 24, Iterations: cfg.pick(200, 500)}
+	farmParams := taskfarm.Params{Tasks: cfg.pick(48, 128), Work: 200}
+	workloads := []workload{
+		{"mcb", cfg.pick(8, 16), 256, func(rank int, mpi simmpi.MPI) error {
+			_, err := mcb.Run(mpi, mcbParams)
+			return err
+		}},
+		{"jacobi", 8, 256, func(rank int, mpi simmpi.MPI) error {
+			_, err := jacobi.Run(mpi, jacParams)
+			return err
+		}},
+		{"taskfarm", 8, 8, func(rank int, mpi simmpi.MPI) error {
+			_, err := taskfarm.Run(mpi, farmParams)
+			return err
+		}},
+	}
+
+	cfg.printf("Pipeline observability: per-stage byte counts under full instrumentation\n")
+	cfg.printf("%-10s %6s %10s %10s %10s %10s %10s %8s\n",
+		"workload", "ranks", "raw", "RE", "PE", "LPE", "gzip", "total")
+	for _, wl := range workloads {
+		reg := obs.NewRegistry()
+		if cfg.OnRegistry != nil {
+			cfg.OnRegistry(reg)
+		}
+		w := simmpi.NewWorld(wl.ranks, simmpi.Options{Seed: cfg.Seed, MaxJitter: 8, Obs: reg})
+		recDir := filepath.Join(dir, wl.name)
+		_, err := cdc.Record(w, recDir, wl.app,
+			cdc.WithApp(wl.name),
+			cdc.WithObs(reg),
+			cdc.WithFlushEveryRows(wl.flushRows))
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s: %w", wl.name, err)
+		}
+		pw := workloadFromSnapshot(wl.name, wl.ranks, reg.Snapshot())
+		result.Workloads = append(result.Workloads, pw)
+		cfg.printf("%-10s %6d %10d %10d %10d %10d %10d %7.1fx\n",
+			pw.Name, pw.Ranks, pw.Bytes.Raw, pw.Bytes.RE, pw.Bytes.PE, pw.Bytes.LPE,
+			pw.Bytes.Gzip, pw.Ratios.Total)
+	}
+	cfg.printf("\n%-10s %10s %8s %10s %12s %12s %10s\n",
+		"workload", "enqueued", "stalls", "depth max", "flushes", "flush p99", "jitter")
+	for _, pw := range result.Workloads {
+		cfg.printf("%-10s %10d %8d %10d %12d %10.3fms %9.2ft\n",
+			pw.Name, pw.Queue.Enqueued, pw.Queue.Stalls, pw.Queue.DepthMax,
+			pw.Flush.Count, float64(pw.Flush.P99Ns)/1e6, pw.Net.JitterMeanTicks)
+	}
+	if err := result.Validate(); err != nil {
+		return result, err
+	}
+	return result, nil
+}

@@ -13,6 +13,8 @@
 // x_n is recovered recursively from the residual stream.
 package lpe
 
+import "cdcreplay/internal/varint"
+
 // Encode writes the LP residuals of xs into dst (allocating if dst is nil or
 // too short) and returns the residual slice. len(result) == len(xs).
 func Encode(dst, xs []int64) []int64 {
@@ -26,6 +28,19 @@ func Encode(dst, xs []int64) []int64 {
 		x2, x1 = x1, x
 	}
 	return dst
+}
+
+// EncodedSize returns the total zigzag-varint byte size of the LP residuals
+// of xs, without allocating the residual slice — the LPE stage's
+// contribution to the per-stage byte accounting (DESIGN.md §8).
+func EncodedSize(xs []int64) int {
+	var n int
+	var x1, x2 int64
+	for _, x := range xs {
+		n += varint.IntSize(x - 2*x1 + x2)
+		x2, x1 = x1, x
+	}
+	return n
 }
 
 // Decode inverts Encode, reconstructing the original values from residuals.

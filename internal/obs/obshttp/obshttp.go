@@ -1,0 +1,58 @@
+// Package obshttp exposes an obs snapshot over HTTP, expvar-style, with
+// net/http/pprof wired alongside. It lives in a subpackage so binaries
+// that never serve metrics do not link net/http.
+//
+// Routes:
+//
+//	/metrics      current snapshot as JSON (pretty-printed with ?pretty)
+//	/debug/vars   same payload under the conventional expvar path
+//	/debug/pprof  the standard pprof index, profile, trace, …
+package obshttp
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"cdcreplay/internal/obs"
+)
+
+// Source yields the snapshot to serve; typically a bound
+// (*obs.Registry).Snapshot, or a closure switching between registries.
+type Source func() obs.Snapshot
+
+// Handler returns an http.Handler serving src plus pprof.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	serve := func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		if req.URL.Query().Has("pretty") {
+			enc.SetIndent("", "  ")
+		}
+		_ = enc.Encode(src())
+	}
+	mux.HandleFunc("/metrics", serve)
+	mux.HandleFunc("/debug/vars", serve)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for src on addr (e.g. ":6060") in a
+// background goroutine and returns the bound address plus a shutdown
+// function. Binding errors are returned synchronously so a typo'd -http
+// flag fails fast instead of silently serving nothing.
+func Serve(addr string, src Source) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(src)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

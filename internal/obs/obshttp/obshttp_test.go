@@ -1,0 +1,79 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cdcreplay/internal/obs"
+)
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("record.rows").Add(9)
+	srv := httptest.NewServer(Handler(reg.Snapshot))
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s content type = %q", path, ct)
+		}
+		var s obs.Snapshot
+		if err := json.Unmarshal(body, &s); err != nil {
+			t.Fatalf("%s: %v in %s", path, err, body)
+		}
+		if s.Counter("record.rows") != 9 {
+			t.Errorf("%s counter = %d, want 9", path, s.Counter("record.rows"))
+		}
+	}
+
+	// ?pretty indents.
+	resp, err := http.Get(srv.URL + "/metrics?pretty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "\n  ") {
+		t.Errorf("?pretty output not indented: %s", body)
+	}
+
+	// pprof index answers.
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeBindErrorIsSynchronous(t *testing.T) {
+	if _, _, err := Serve("256.0.0.1:0", func() obs.Snapshot { return obs.Snapshot{} }); err == nil {
+		t.Fatal("bad address did not error")
+	}
+	addr, stop, err := Serve("127.0.0.1:0", (*obs.Registry)(nil).Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "{}" {
+		t.Errorf("nil-registry snapshot = %s, want {}", body)
+	}
+}

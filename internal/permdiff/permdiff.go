@@ -30,6 +30,8 @@ package permdiff
 import (
 	"fmt"
 	"sort"
+
+	"cdcreplay/internal/varint"
 )
 
 // Move records one permuted message. The message at reference index
@@ -55,6 +57,17 @@ func Encode(obs []int) []Move {
 		}
 	}
 	return moves
+}
+
+// EncodedSize returns the plain (pre-LPE) zigzag-varint byte size of the
+// moves table — the permutation-encoding stage's contribution to the
+// per-stage byte accounting (DESIGN.md §8).
+func EncodedSize(moves []Move) int {
+	n := 0
+	for _, m := range moves {
+		n += varint.IntSize(m.ObservedIndex) + varint.IntSize(m.Delay)
+	}
+	return n
 }
 
 // PermutedCount reports how many messages are off the longest increasing

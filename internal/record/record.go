@@ -21,6 +21,7 @@ import (
 
 	"cdcreplay/internal/baseline"
 	"cdcreplay/internal/callsite"
+	"cdcreplay/internal/obs"
 	"cdcreplay/internal/simmpi"
 	"cdcreplay/internal/spsc"
 	"cdcreplay/internal/tables"
@@ -49,6 +50,10 @@ type Options struct {
 	// function of the event stream, so crash tests can place flush points
 	// deterministically.
 	FlushEveryRows int
+	// Obs, when non-nil, receives the recorder's metrics (record.* names,
+	// DESIGN.md §8). Nil disables instrumentation at the cost of one
+	// pointer check per instrument site.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -102,6 +107,13 @@ type Recorder struct {
 
 	stats  RateStats
 	closed bool
+
+	// obs instruments, nil when Options.Obs is nil (no-op calls).
+	mRows      *obs.Counter
+	mBatchRows *obs.Histogram
+	mFlushNs   *obs.Histogram
+	mFlushes   *obs.Counter
+	obsReg     *obs.Registry
 }
 
 var _ simmpi.MPI = (*Recorder)(nil)
@@ -121,6 +133,17 @@ func New(next simmpi.MPI, backend baseline.Method, opts Options) *Recorder {
 	if c, ok := next.(interface{ Clock() uint64 }); ok {
 		r.clockNow = c.Clock
 	}
+	reg := opts.Obs
+	r.obsReg = reg
+	r.q.Instrument(spsc.Instruments{
+		Enqueued: reg.Counter("record.queue.enqueued"),
+		Stalls:   reg.Counter("record.queue.stalls"),
+		Depth:    reg.Gauge("record.queue.depth"),
+	})
+	r.mRows = reg.Counter("record.rows")
+	r.mBatchRows = reg.Histogram("record.batch.rows", obs.ExpBounds(1, 2, 20))
+	r.mFlushNs = reg.Histogram("record.flush.ns", obs.LatencyBounds())
+	r.mFlushes = reg.Counter("record.flushes")
 	go r.cdcThread()
 	return r
 }
@@ -192,11 +215,17 @@ func (r *Recorder) cdcThread() {
 			return
 		}
 		start := time.Now()
+		span := r.obsReg.StartSpan("record.flush")
 		flushPendingUnmatched(0, true)
 		if err == nil {
 			latch(fl.FlushAll(lastClock))
 		}
-		busy += time.Since(start)
+		span.End()
+		elapsed := time.Since(start)
+		busy += elapsed
+		r.mFlushNs.ObserveDuration(elapsed)
+		r.mBatchRows.Observe(uint64(rowsSinceFlush))
+		r.mFlushes.Inc()
 		lastFlush = time.Now()
 		rowsSinceFlush = 0
 		pendingFlush = false
@@ -247,6 +276,7 @@ func (r *Recorder) cdcThread() {
 			observe(item.callsite, item.ev)
 		}
 		busy += time.Since(start)
+		r.mRows.Inc()
 		midGroup = item.ev.Flag && item.ev.WithNext
 		rowsSinceFlush++
 		if r.opts.FlushEveryRows > 0 && rowsSinceFlush >= r.opts.FlushEveryRows {

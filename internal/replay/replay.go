@@ -55,6 +55,7 @@ import (
 	"cdcreplay/internal/cdcformat"
 	"cdcreplay/internal/core"
 	"cdcreplay/internal/lamport"
+	"cdcreplay/internal/obs"
 	"cdcreplay/internal/permdiff"
 	"cdcreplay/internal/simmpi"
 	"cdcreplay/internal/tables"
@@ -111,6 +112,10 @@ type Options struct {
 	// releases first, live-phase deliveries after. Tests and tracing tools
 	// use it to compare observed orders across runs.
 	OnRelease func(st simmpi.Status)
+	// Obs, when non-nil, receives the replayer's metrics (replay.* names,
+	// DESIGN.md §8): match-loop stalls, group wait latency, clock-wait
+	// time, and pool depth.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -161,6 +166,16 @@ type Replayer struct {
 	liveNotes []string
 
 	stats Stats
+
+	// obs instruments, nil when Options.Obs is nil (no-op calls).
+	mReleases    *obs.Counter
+	mOptimistic  *obs.Counter
+	mLive        *obs.Counter
+	mStallPolls  *obs.Counter
+	mClockWaitNs *obs.Counter
+	mWaitNs      *obs.Histogram
+	mPool        *obs.Gauge
+	obsReg       *obs.Registry
 }
 
 // Stats counts what the replayer did, for observability and tests.
@@ -214,6 +229,15 @@ func New(next *lamport.Layer, rec *core.Record, opts Options) *Replayer {
 		}
 		rp.streams[cs] = st
 	}
+	reg := opts.Obs
+	rp.obsReg = reg
+	rp.mReleases = reg.Counter("replay.releases")
+	rp.mOptimistic = reg.Counter("replay.optimistic")
+	rp.mLive = reg.Counter("replay.live.releases")
+	rp.mStallPolls = reg.Counter("replay.stall.polls")
+	rp.mClockWaitNs = reg.Counter("replay.clockwait.ns")
+	rp.mWaitNs = reg.Histogram("replay.wait.ns", obs.LatencyBounds())
+	rp.mPool = reg.Gauge("replay.pool.depth")
 	return rp
 }
 
@@ -714,6 +738,9 @@ func (rp *Replayer) pollBelow() (int, error) {
 			rp.lastSeen[src] = sts[k].Clock
 		}
 	}
+	if len(idxs) > 0 {
+		rp.mPool.Set(int64(len(rp.pool)))
+	}
 	return len(idxs), nil
 }
 
@@ -856,6 +883,7 @@ func (rp *Replayer) liveDeliver(reqs []*simmpi.Request, limit int) ([]int, []sim
 	}
 	rp.pool = kept
 	rp.stats.LiveReleases += uint64(len(idxs))
+	rp.mLive.Add(uint64(len(idxs)))
 	return idxs, sts
 }
 
@@ -910,6 +938,7 @@ func (rp *Replayer) liveTestall(reqs []*simmpi.Request) (bool, []simmpi.Status, 
 		}
 	}
 	rp.stats.LiveReleases += uint64(len(reqs))
+	rp.mLive.Add(uint64(len(reqs)))
 	return true, sts, nil
 }
 
@@ -969,6 +998,10 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 	start := time.Now()
 	deadline := start.Add(rp.opts.Timeout)
 	lastProgress := start
+	// clockWaitStart is set while the stream holds collected-but-unreleasable
+	// candidates — time the Axiom 1 clock conditions (not message arrival)
+	// are what blocks progress. Only tracked when instrumented.
+	var clockWaitStart time.Time
 	spins := 0
 	for {
 		arrived, err := rp.pollBelow()
@@ -989,7 +1022,24 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 			progressed = true
 		}
 		if len(staged) == g {
+			rp.mWaitNs.Observe(uint64(time.Since(start)))
+			if !clockWaitStart.IsZero() {
+				rp.mClockWaitNs.Add(uint64(time.Since(clockWaitStart)))
+			}
 			return staged, nil
+		}
+		if rp.mClockWaitNs != nil {
+			if len(s.collected) > 0 {
+				if clockWaitStart.IsZero() {
+					clockWaitStart = time.Now()
+				}
+			} else if !clockWaitStart.IsZero() {
+				rp.mClockWaitNs.Add(uint64(time.Since(clockWaitStart)))
+				clockWaitStart = time.Time{}
+			}
+		}
+		if !progressed {
+			rp.mStallPolls.Inc()
 		}
 		if progressed {
 			lastProgress = time.Now()
@@ -1004,6 +1054,7 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 				!s.tieUnresolved(s.collected[k].st.Clock) {
 				staged = append(staged, s.takeAt(k, s.t+len(staged)))
 				rp.stats.OptimisticReleases++
+				rp.mOptimistic.Inc()
 				lastProgress = time.Now()
 				continue
 			}
@@ -1113,6 +1164,7 @@ func (rp *Replayer) release(s *stream, reqs []*simmpi.Request, group []pooled, o
 		}
 	}
 	rp.stats.Released += uint64(len(group))
+	rp.mReleases.Add(uint64(len(group)))
 	s.t += len(group)
 	if s.nReleased >= s.n && s.n > 0 {
 		rp.stats.ChunksVerified++

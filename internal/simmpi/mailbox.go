@@ -4,7 +4,22 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"cdcreplay/internal/obs"
 )
+
+// mailboxInstruments are the runtime's optional obs hooks, shared across all
+// ranks' mailboxes. Nil instruments (from a nil obs.Registry) are no-ops.
+type mailboxInstruments struct {
+	// jitter observes each message's drawn delivery delay in poll ticks
+	// (before the FIFO clamp) — the noise model the replay must undo.
+	jitter *obs.Histogram
+	// messages counts deposited messages world-wide.
+	messages *obs.Counter
+	// inflight samples one mailbox's undelivered backlog at each deposit;
+	// its high-water mark is the peak per-rank reordering window.
+	inflight *obs.Gauge
+}
 
 // envelope is a message in flight or awaiting matching.
 type envelope struct {
@@ -31,6 +46,8 @@ type mailbox struct {
 	inflight   []*envelope
 	// lastArrive tracks per-sender arrival frontiers to keep FIFO order.
 	lastArrive map[int]uint64
+
+	ins mailboxInstruments
 }
 
 func newMailbox(seed int64, maxJitter int) *mailbox {
@@ -45,7 +62,8 @@ func newMailbox(seed int64, maxJitter int) *mailbox {
 func (m *mailbox) deposit(src, tag int, data []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	at := m.tick + uint64(m.rng.Intn(m.maxJitter+1)) + 1
+	jitter := uint64(m.rng.Intn(m.maxJitter + 1))
+	at := m.tick + jitter + 1
 	if last := m.lastArrive[src]; at < last {
 		at = last // never overtake an earlier message from the same sender
 	}
@@ -55,6 +73,9 @@ func (m *mailbox) deposit(src, tag int, data []byte) {
 		src: src, tag: tag, data: data,
 		arriveAt: at, depositSeq: m.depositSeq,
 	})
+	m.ins.jitter.Observe(jitter)
+	m.ins.messages.Inc()
+	m.ins.inflight.Set(int64(len(m.inflight)))
 }
 
 // drain advances the receiver's poll tick and returns every message whose

@@ -32,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cdcreplay/internal/obs"
 )
 
 // AnySource matches a receive against messages from any rank
@@ -178,6 +180,10 @@ type Options struct {
 	// Faults, when non-nil, schedules a deterministic rank failure (see
 	// FaultPlan). Nil worlds never inject faults.
 	Faults *FaultPlan
+	// Obs, when non-nil, receives the runtime's delivery metrics (net.*
+	// names, DESIGN.md §8): per-message jitter ticks, message count, and
+	// in-flight depth. Shared across all ranks' mailboxes.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -206,9 +212,15 @@ func NewWorld(n int, opts Options) *World {
 	opts.fill()
 	w := &World{n: n, opts: opts, coll: newCollectives(n)}
 	w.coll.aborted = &w.aborted
+	ins := mailboxInstruments{
+		jitter:   opts.Obs.Histogram("net.jitter.ticks", obs.LinearBounds(0, 1, 16)),
+		messages: opts.Obs.Counter("net.messages"),
+		inflight: opts.Obs.Gauge("net.inflight"),
+	}
 	w.boxes = make([]*mailbox, n)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox(opts.Seed*1_000_003+int64(i)*7919+1, opts.MaxJitter)
+		w.boxes[i].ins = ins
 	}
 	return w
 }

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"cdcreplay/internal/obs"
 )
 
 // Queue is a bounded SPSC ring buffer. The zero value is not usable; call
@@ -35,7 +37,25 @@ type Queue[T any] struct {
 	// idleLoops counts empty-queue wait iterations across both endpoints,
 	// for tests asserting the idle spin is bounded.
 	idleLoops atomic.Uint64
+
+	ins Instruments
 }
+
+// Instruments are the queue's optional obs hooks. Nil instruments (the
+// default, and everything a nil obs.Registry hands out) cost one pointer
+// check per operation on the hot path.
+type Instruments struct {
+	// Enqueued counts accepted items.
+	Enqueued *obs.Counter
+	// Stalls counts blocking Enqueue calls that found the ring full.
+	Stalls *obs.Counter
+	// Depth samples the buffered item count at each enqueue; its
+	// high-water mark is the peak backlog the consumer let build up.
+	Depth *obs.Gauge
+}
+
+// Instrument attaches obs instruments. Call before the queue is in use.
+func (q *Queue[T]) Instrument(ins Instruments) { q.ins = ins }
 
 // Backoff thresholds for blocked endpoints: spin briefly for latency, then
 // yield, then sleep with a growing interval so an idle endpoint consumes a
@@ -93,6 +113,8 @@ func (q *Queue[T]) TryEnqueue(v T) bool {
 	}
 	q.buf[t&q.mask] = v
 	q.tail.Store(t + 1)
+	q.ins.Enqueued.Inc()
+	q.ins.Depth.Set(int64(t + 1 - q.head.Load()))
 	return true
 }
 
@@ -110,6 +132,9 @@ func (q *Queue[T]) Enqueue(v T) bool {
 		}
 		if q.TryEnqueue(v) {
 			return true
+		}
+		if spins == 0 {
+			q.ins.Stalls.Inc()
 		}
 		q.backoff(spins)
 		spins++

@@ -42,6 +42,20 @@ func AppendInt(dst []byte, v int64) []byte {
 	return AppendUint(dst, Zigzag(v))
 }
 
+// UintSize returns the encoded length of u in bytes without encoding it,
+// for size accounting (the obs pipeline-stage byte counters).
+func UintSize(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}
+
+// IntSize returns the encoded length of the zigzag varint for v.
+func IntSize(v int64) int { return UintSize(Zigzag(v)) }
+
 // Uint decodes an unsigned varint from b, returning the value and the number
 // of bytes consumed.
 func Uint(b []byte) (uint64, int, error) {
