@@ -37,6 +37,7 @@ import (
 	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/replay"
 	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/spsc"
 )
 
 // App is one rank's application body. It is written against the plain
@@ -96,10 +97,22 @@ func Record(world *simmpi.World, dir string, app App, opts ...Option) (*RecordRe
 	if app == nil {
 		return nil, errors.New("cdc: Record needs a non-nil App")
 	}
+	// The manifest records the resolved backoff whether or not the caller
+	// tuned it, so a recording's latency behaviour is reproducible from the
+	// manifest alone.
+	backoff := cfg.backoff
+	if !cfg.backoffSet {
+		backoff = spsc.DefaultBackoff()
+	}
 	err = recorddir.Create(dir, recorddir.Manifest{
 		Ranks:  world.Size(),
 		App:    cfg.app,
 		Params: cfg.params,
+		Spsc: &recorddir.SpscBackoff{
+			SpinBeforeYield: backoff.SpinBeforeYield,
+			YieldBeforeNap:  backoff.YieldBeforeNap,
+			MaxNapNs:        backoff.MaxNap.Nanoseconds(),
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -114,6 +127,7 @@ func Record(world *simmpi.World, dir string, app App, opts ...Option) (*RecordRe
 			ChunkEvents:      cfg.chunkEvents,
 			OmitSenderColumn: cfg.omitSenderColumn,
 			Durable:          cfg.durable,
+			EncodeWorkers:    cfg.encodeWorkers,
 			Obs:              cfg.obs,
 		}
 		if cfg.gzipLevelSet {
@@ -130,6 +144,7 @@ func Record(world *simmpi.World, dir string, app App, opts ...Option) (*RecordRe
 			DisableMFID:    cfg.disableMFID,
 			FlushInterval:  cfg.flushInterval,
 			FlushEveryRows: cfg.flushEveryRows,
+			Backoff:        backoff,
 			Obs:            cfg.obs,
 		})
 		appErr := app(rank, rec)

@@ -2,10 +2,12 @@ package cdc
 
 import (
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"cdcreplay/internal/mcb"
 	"cdcreplay/internal/obs"
@@ -171,6 +173,90 @@ func TestSessionsRejectInvalidOptions(t *testing.T) {
 	}
 	if _, err := Replay(w, dir, app, WithChunkEvents(8)); !errors.Is(err, ErrInvalidOption) {
 		t.Fatalf("Replay with record option = %v", err)
+	}
+}
+
+// TestRecordParallelEncodeAndBackoff records through the parallel encode
+// pipeline with a custom queue backoff, checks both knobs leave their marks
+// (identical replay tally; backoff recorded in the manifest), and streams
+// the resulting rank file through the facade reader.
+func TestRecordParallelEncodeAndBackoff(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	var mu sync.Mutex
+	var recorded float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 51, MaxJitter: 8})
+	rep, err := Record(w, dir, mcbApp(&recorded, &mu),
+		WithApp("mcb"),
+		WithEncodeWorkers(4),
+		WithQueueBackoff(32, 512, 100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRows() == 0 || rep.TotalBytes() == 0 {
+		t.Fatalf("empty record: rows=%d bytes=%d", rep.TotalRows(), rep.TotalBytes())
+	}
+
+	var replayed float64
+	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 52, MaxJitter: 8})
+	rrep, err := Replay(w2, dir, mcbApp(&replayed, &mu), WithApp("mcb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != recorded {
+		t.Fatalf("tally diverged: recorded %.17g, replayed %.17g", recorded, replayed)
+	}
+	spsc := rrep.Manifest.Spsc
+	if spsc == nil {
+		t.Fatal("manifest did not record the spsc backoff profile")
+	}
+	if spsc.SpinBeforeYield != 32 || spsc.YieldBeforeNap != 512 || spsc.MaxNapNs != 100_000 {
+		t.Errorf("manifest backoff = %+v", *spsc)
+	}
+
+	rd, err := OpenRecord(recorddir.RankPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	kinds := map[FrameKind]int{}
+	for {
+		f, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds[f.Kind]++
+		if f.Kind == FrameChunk && f.CallsiteName == "" {
+			t.Errorf("chunk frame for callsite %d has no registered name", f.Callsite)
+		}
+	}
+	if kinds[FrameChunk] == 0 || kinds[FrameCallsite] == 0 || kinds[FrameFlushPoint] == 0 {
+		t.Errorf("frame kinds seen = %v, want all three represented", kinds)
+	}
+	if rd.Frames() == 0 || rd.Events() == 0 || rd.FlushPoints() == 0 {
+		t.Errorf("reader totals: frames=%d events=%d flushPoints=%d",
+			rd.Frames(), rd.Events(), rd.FlushPoints())
+	}
+}
+
+// TestDefaultBackoffRecorded: without WithQueueBackoff the manifest
+// records the default profile, so replay tooling always sees the knob.
+func TestDefaultBackoffRecorded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	var mu sync.Mutex
+	var tally float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 61, MaxJitter: 2})
+	if _, err := Record(w, dir, mcbApp(&tally, &mu)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := recorddir.Open(dir, "", testRanks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Spsc == nil || m.Spsc.SpinBeforeYield == 0 || m.Spsc.MaxNapNs == 0 {
+		t.Errorf("default backoff not recorded: %+v", m.Spsc)
 	}
 }
 

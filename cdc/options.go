@@ -8,6 +8,7 @@ import (
 
 	"cdcreplay/internal/obs"
 	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/spsc"
 )
 
 // ErrInvalidOption is the sentinel every option-validation failure unwraps
@@ -67,6 +68,9 @@ type config struct {
 	gzipLevel        int
 	gzipLevelSet     bool
 	omitSenderColumn bool
+	encodeWorkers    int
+	backoff          spsc.Backoff
+	backoffSet       bool
 
 	// Replay side.
 	timeout         time.Duration
@@ -238,6 +242,54 @@ func WithGzipLevel(level int) Option {
 		}
 		c.gzipLevel = level
 		c.gzipLevelSet = true
+		return nil
+	})
+}
+
+// WithEncodeWorkers fans each rank's chunk encoding (chunk building and
+// serialization, the CPU-bound part of the CDC thread's work) across n
+// workers, with an ordered-commit stage keeping the record file
+// byte-identical to single-threaded output (DESIGN.md §9). n = 1 — the
+// default — keeps encoding on the CDC goroutine itself.
+func WithEncodeWorkers(n int) Option {
+	return recordOnly("WithEncodeWorkers", func(c *config) error {
+		if n < 1 {
+			return &OptionError{Option: "WithEncodeWorkers", Reason: fmt.Sprintf("worker count must be positive, got %d", n)}
+		}
+		if n > 256 {
+			return &OptionError{Option: "WithEncodeWorkers", Reason: fmt.Sprintf("worker count %d exceeds the sanity cap of 256", n)}
+		}
+		c.encodeWorkers = n
+		return nil
+	})
+}
+
+// WithQueueBackoff tunes the observe queue's idle backoff (how a blocked
+// endpoint waits): spin hot for spinBeforeYield unproductive iterations,
+// yield the scheduler slot through yieldBeforeNap iterations, then sleep
+// with a nap growing toward maxNap. The chosen values are recorded in the
+// record manifest. Latency-sensitive runs raise the spin/yield thresholds;
+// oversubscribed ones lower them. Defaults: 64, 1024, 200µs.
+func WithQueueBackoff(spinBeforeYield, yieldBeforeNap int, maxNap time.Duration) Option {
+	return recordOnly("WithQueueBackoff", func(c *config) error {
+		if spinBeforeYield < 1 {
+			return &OptionError{Option: "WithQueueBackoff",
+				Reason: fmt.Sprintf("spinBeforeYield must be positive, got %d", spinBeforeYield)}
+		}
+		if yieldBeforeNap < spinBeforeYield {
+			return &OptionError{Option: "WithQueueBackoff",
+				Reason: fmt.Sprintf("yieldBeforeNap (%d) must be >= spinBeforeYield (%d)", yieldBeforeNap, spinBeforeYield)}
+		}
+		if maxNap <= 0 {
+			return &OptionError{Option: "WithQueueBackoff",
+				Reason: fmt.Sprintf("maxNap must be positive, got %v", maxNap)}
+		}
+		c.backoff = spsc.Backoff{
+			SpinBeforeYield: spinBeforeYield,
+			YieldBeforeNap:  yieldBeforeNap,
+			MaxNap:          maxNap,
+		}
+		c.backoffSet = true
 		return nil
 	})
 }

@@ -39,6 +39,12 @@ func TestOptionValueValidation(t *testing.T) {
 	expectOptionError(t, modeRecord, "WithChunkEvents", WithChunkEvents(-1))
 	expectOptionError(t, modeRecord, "WithGzipLevel", WithGzipLevel(gzip.NoCompression))
 	expectOptionError(t, modeRecord, "WithGzipLevel", WithGzipLevel(10))
+	expectOptionError(t, modeRecord, "WithEncodeWorkers", WithEncodeWorkers(0))
+	expectOptionError(t, modeRecord, "WithEncodeWorkers", WithEncodeWorkers(-2))
+	expectOptionError(t, modeRecord, "WithEncodeWorkers", WithEncodeWorkers(1000))
+	expectOptionError(t, modeRecord, "WithQueueBackoff", WithQueueBackoff(0, 1024, time.Millisecond))
+	expectOptionError(t, modeRecord, "WithQueueBackoff", WithQueueBackoff(128, 64, time.Millisecond))
+	expectOptionError(t, modeRecord, "WithQueueBackoff", WithQueueBackoff(64, 1024, 0))
 	expectOptionError(t, modeReplay, "WithTimeout", WithTimeout(0))
 	expectOptionError(t, modeReplay, "WithOptimisticDelay", WithOptimisticDelay(0))
 }
@@ -48,6 +54,8 @@ func TestOptionModeScoping(t *testing.T) {
 	// mode named in the reason.
 	expectOptionError(t, modeReplay, "WithDurable", WithDurable())
 	expectOptionError(t, modeReplay, "WithParams", WithParams(nil))
+	expectOptionError(t, modeReplay, "WithEncodeWorkers", WithEncodeWorkers(4))
+	expectOptionError(t, modeReplay, "WithQueueBackoff", WithQueueBackoff(64, 1024, time.Millisecond))
 	expectOptionError(t, modeRecord, "WithLiveReplay", WithLiveReplay())
 	expectOptionError(t, modeRecord, "WithOnRelease", WithOnRelease(nil))
 	_, err := newConfig(modeRecord, []Option{WithTimeout(time.Second)})
@@ -78,6 +86,8 @@ func TestValidOptionsAccumulate(t *testing.T) {
 		WithObs(nil), // explicitly disabled observability is valid
 		WithQueueCapacity(128),
 		WithGzipLevel(gzip.BestSpeed),
+		WithEncodeWorkers(4),
+		WithQueueBackoff(32, 512, 100*time.Microsecond),
 		nil, // nil options are skipped, not a panic
 	})
 	if err != nil {
@@ -85,6 +95,13 @@ func TestValidOptionsAccumulate(t *testing.T) {
 	}
 	if cfg.app != "mcb" || cfg.queueCapacity != 128 {
 		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.encodeWorkers != 4 {
+		t.Errorf("encodeWorkers = %d, want 4", cfg.encodeWorkers)
+	}
+	if !cfg.backoffSet || cfg.backoff.SpinBeforeYield != 32 || cfg.backoff.YieldBeforeNap != 512 ||
+		cfg.backoff.MaxNap != 100*time.Microsecond {
+		t.Errorf("backoff = %+v set=%v", cfg.backoff, cfg.backoffSet)
 	}
 	if cfg.params["particles"] != "200" || cfg.params["steps"] != "2" {
 		t.Errorf("params did not merge: %v", cfg.params)

@@ -9,7 +9,7 @@
 //	cdcbench -exp all -http :6060   # live metrics + pprof while running
 //
 // Experiments: fig1, fig13, fig14, fig15, fig16, fig17, queue, piggyback,
-// replay, ablations, pipeline, all.
+// replay, ablations, pipeline, encode, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|encode|all)")
 	full := flag.Bool("full", false, "paper-leaning scales (slower)")
 	seed := flag.Int64("seed", 1, "network noise seed")
 	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's metrics to this JSON file")
@@ -69,6 +69,19 @@ func main() {
 		{"ablations", wrap(func(c harness.Config) (any, error) { return harness.Ablations(c) })},
 		{"pipeline", func(c harness.Config) error {
 			res, err := harness.Pipeline(c)
+			if err != nil {
+				return err
+			}
+			if *metricsOut != "" {
+				if err := res.WriteJSON(*metricsOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *metricsOut)
+			}
+			return nil
+		}},
+		{"encode", func(c harness.Config) error {
+			res, err := harness.Encode(c)
 			if err != nil {
 				return err
 			}

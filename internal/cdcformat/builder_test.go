@@ -1,0 +1,114 @@
+package cdcformat
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cdcreplay/internal/tables"
+)
+
+// randomTaggedEvents is randomEvents plus nonzero tags and occasional
+// cross-sender clock ties, exercising every chunk table.
+func randomTaggedEvents(rng *rand.Rand, n int) []tables.Event {
+	clock := map[int32]uint64{}
+	var events []tables.Event
+	lastUnmatched := false
+	for i := 0; i < n; i++ {
+		if !lastUnmatched && rng.Intn(4) == 0 {
+			events = append(events, tables.Unmatched(uint64(1+rng.Intn(6))))
+			lastUnmatched = true
+			continue
+		}
+		lastUnmatched = false
+		r := int32(rng.Intn(6))
+		clock[r] += uint64(1 + rng.Intn(4))
+		events = append(events, tables.MatchedTagged(r, int32(rng.Intn(3)), clock[r], rng.Intn(5) == 0))
+	}
+	return events
+}
+
+// TestBuilderMatchesBuildChunk pins the Builder's scratch-based path to the
+// allocating one: for random streams, with and without the sender column,
+// the marshaled bytes must be identical — the property the parallel encode
+// pipeline's byte-identity guarantee rests on. One Builder is reused across
+// all trials so scratch recycling is exercised, not just the cold path.
+func TestBuilderMatchesBuildChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var b Builder
+	var got []byte
+	for trial := 0; trial < 400; trial++ {
+		events := randomTaggedEvents(rng, 1+rng.Intn(80))
+		for _, senders := range []bool{false, true} {
+			var want *Chunk
+			if senders {
+				want = BuildChunkWithSenders(uint64(trial), events)
+			} else {
+				want = BuildChunk(uint64(trial), events)
+			}
+			// Boundary exceptions are appended by the encoder, not the
+			// builder; give both sides the same set.
+			if trial%3 == 0 {
+				want.Exceptions = []tables.MatchedEntry{{Rank: 1, Clock: uint64(trial)}}
+			}
+			c := b.Build(uint64(trial), events, senders)
+			c.Exceptions = want.Exceptions
+
+			got = b.AppendMarshal(got[:0], c)
+			if wantBytes := want.Marshal(nil); !bytes.Equal(got, wantBytes) {
+				t.Fatalf("trial %d senders=%v: marshal mismatch\nbuilder: %x\nlegacy:  %x",
+					trial, senders, got, wantBytes)
+			}
+		}
+	}
+}
+
+// TestBuilderOverflowRanks drives the map fallback for ranks outside the
+// dense epoch-line range and checks it against the legacy path.
+func TestBuilderOverflowRanks(t *testing.T) {
+	events := []tables.Event{
+		tables.Matched(maxDenseRank+7, 5, false),
+		tables.Matched(2, 3, false),
+		tables.Unmatched(2),
+		tables.Matched(maxDenseRank+7, 9, false),
+		tables.Matched(-3, 4, false),
+	}
+	var b Builder
+	c := b.Build(1, events, true)
+	got := b.AppendMarshal(nil, c)
+	want := BuildChunkWithSenders(1, events).Marshal(nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("overflow-rank marshal mismatch\nbuilder: %x\nlegacy:  %x", got, want)
+	}
+}
+
+// TestBuilderAllocs pins the steady-state allocation count of a warm
+// Builder at zero: the whole point of the scratch design is that the encode
+// workers stop churning the GC once their buffers have grown to chunk size.
+func TestBuilderAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	events := randomTaggedEvents(rng, 4096)
+	var b Builder
+	var buf []byte
+	run := func() {
+		c := b.Build(7, events, true)
+		buf = b.AppendMarshal(buf[:0], c)
+	}
+	run() // warm the scratch
+	if allocs := testing.AllocsPerRun(50, run); allocs != 0 {
+		t.Fatalf("warm Builder Build+AppendMarshal allocates %v times per chunk, want 0", allocs)
+	}
+}
+
+func BenchmarkBuilderBuildMarshal(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	events := randomTaggedEvents(rng, 4096)
+	var bld Builder
+	var buf []byte
+	b.SetBytes(int64(len(events)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := bld.Build(0, events, true)
+		buf = bld.AppendMarshal(buf[:0], c)
+	}
+}

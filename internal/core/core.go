@@ -78,6 +78,12 @@ type EncoderOptions struct {
 	// every flush point and on close, so a machine crash loses at most the
 	// events since the last FlushAll.
 	Durable bool
+	// EncodeWorkers > 1 fans chunk building and serialization across that
+	// many workers, with an ordered-commit stage keeping the record file
+	// byte-identical to single-threaded output (DESIGN.md §9). 0 or 1 keeps
+	// everything on the calling goroutine. With workers, Stats and
+	// BytesWritten are exact only after Close.
+	EncodeWorkers int
 	// Obs, when non-nil, receives per-stage pipeline metrics (encode.*
 	// names, DESIGN.md §8): byte counts after redundancy elimination,
 	// permutation encoding, LP encoding, and gzip. Stage sizing does a
@@ -147,6 +153,7 @@ type Syncer interface{ Sync() error }
 type FrameWriter struct {
 	cw      *countingWriter
 	zw      *gzip.Writer
+	level   int    // gzip level, for returning zw to its pool
 	sync    Syncer // non-nil when durable and the writer can fsync
 	scratch []byte
 	closed  bool
@@ -163,11 +170,11 @@ func NewFrameWriter(w io.Writer, gzipLevel int, durable bool) (*FrameWriter, err
 	if _, err := io.WriteString(cw, Magic); err != nil {
 		return nil, err
 	}
-	zw, err := gzip.NewWriterLevel(cw, gzipLevel)
+	zw, err := getGzipWriter(cw, gzipLevel)
 	if err != nil {
 		return nil, err
 	}
-	fw := &FrameWriter{cw: cw, zw: zw}
+	fw := &FrameWriter{cw: cw, zw: zw, level: gzipLevel}
 	if durable {
 		fw.sync, _ = w.(Syncer)
 	}
@@ -233,6 +240,10 @@ func (fw *FrameWriter) Close(clock uint64) error {
 	if err := fw.zw.Close(); err != nil {
 		return err
 	}
+	// A cleanly closed gzip writer is safe to reuse via Reset; error paths
+	// above abandon it to the GC instead.
+	putGzipWriter(fw.level, fw.zw)
+	fw.zw = nil
 	if fw.sync != nil {
 		return fw.sync.Sync()
 	}
@@ -259,6 +270,9 @@ type Encoder struct {
 	stats   Stats
 	scratch []byte
 	closed  bool
+	// pipe is the parallel encode pipeline, non-nil when
+	// EncoderOptions.EncodeWorkers > 1 (pipeline.go).
+	pipe *encodePipeline
 
 	// obs instruments, nil when Options.Obs is nil. mLPE doubles as the
 	// "stage sizing enabled" flag: computing RE/PE sizes costs a pass over
@@ -310,6 +324,9 @@ func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
 		e.mLPE = reg.Counter("encode.bytes.lpe")
 		e.mGzip = reg.Counter("encode.bytes.gzip")
 	}
+	if opts.EncodeWorkers > 1 {
+		e.pipe = newEncodePipeline(e, opts.EncodeWorkers)
+	}
 	return e, nil
 }
 
@@ -323,6 +340,14 @@ func (e *Encoder) RegisterCallsite(id uint64, name string) error {
 	var w varint.Writer
 	w.Uint(id)
 	w.Bytes([]byte(name))
+	if e.pipe != nil {
+		j := e.pipe.getJob()
+		j.kind = jobFrame
+		j.frameKind = frameCallsite
+		j.payload = append(j.payload[:0], w.Result()...)
+		e.pipe.submit(j)
+		return e.pipe.firstErr()
+	}
 	return e.fw.WriteFrame(frameCallsite, w.Result())
 }
 
@@ -360,6 +385,9 @@ func (e *Encoder) Observe(callsite uint64, ev tables.Event) error {
 }
 
 func (e *Encoder) flush(callsite uint64, ps *pendingStream) error {
+	if e.pipe != nil {
+		return e.flushAsync(callsite, ps)
+	}
 	if len(ps.events) == 0 {
 		return nil
 	}
@@ -440,6 +468,17 @@ func (e *Encoder) FlushAll(clock uint64) error {
 			return err
 		}
 	}
+	if e.pipe != nil {
+		j := e.pipe.getJob()
+		if skipped {
+			j.kind = jobFlushOnly
+		} else {
+			e.stats.FlushPoints++
+			j.kind = jobFlushPoint
+			j.clock = e.clock
+		}
+		return e.pipe.run(j)
+	}
 	if skipped {
 		err := e.fw.Flush()
 		e.reportGzipBytes()
@@ -458,6 +497,9 @@ func (e *Encoder) Close() error {
 		return nil
 	}
 	e.closed = true
+	if e.pipe != nil {
+		return e.closeParallel()
+	}
 	for _, cs := range e.order {
 		if err := e.flush(cs, e.pending[cs]); err != nil {
 			return err
@@ -487,7 +529,9 @@ func (e *Encoder) reportGzipBytes() {
 // Close).
 func (e *Encoder) BytesWritten() int64 { return e.fw.BytesWritten() }
 
-// Stats returns the accumulated statistics.
+// Stats returns the accumulated statistics. With EncodeWorkers > 1,
+// PermutedMessages and ValuesCDC are computed by the workers and folded in
+// at Close; the remaining fields are always current.
 func (e *Encoder) Stats() Stats { return e.stats }
 
 // Record is a fully decoded record file.
@@ -513,34 +557,30 @@ func (r *Record) Callsites() []uint64 {
 	return out
 }
 
-// ReadRecord decodes a complete record file. It is a convenience over
-// FrameReader, which callers with memory constraints can use directly.
+// ReadRecord decodes a complete record file into memory. It is a thin
+// drain-everything wrapper over OpenRecord; callers with memory constraints
+// iterate the RecordIter (or FrameReader) directly.
 func ReadRecord(rd io.Reader) (*Record, error) {
-	fr, err := NewFrameReader(rd)
+	it, err := OpenRecord(rd)
 	if err != nil {
 		return nil, err
 	}
-	defer fr.Close()
+	defer it.Close()
 	rec := &Record{
 		Chunks: make(map[uint64][]*cdcformat.Chunk),
-		Names:  make(map[uint64]string),
 	}
 	for {
-		f, err := fr.Next()
+		f, err := it.Next()
 		if err == io.EOF {
+			rec.Names = it.Names()
 			return rec, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		if f.Flush {
-			continue
-		}
 		if f.Chunk != nil {
 			rec.Chunks[f.Chunk.Callsite] = append(rec.Chunks[f.Chunk.Callsite], f.Chunk)
 			rec.order = append(rec.order, f.Chunk.Callsite)
-			continue
 		}
-		rec.Names[f.CallsiteID] = f.CallsiteName
 	}
 }

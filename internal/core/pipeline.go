@@ -1,0 +1,336 @@
+// Parallel chunk-encoding pipeline (DESIGN.md §9).
+//
+// The paper keeps record-time overhead flat by moving CDC encoding off the
+// application's critical path onto a dedicated thread; this file goes one
+// step further and fans the CPU-bound part of that thread's work — building
+// and serializing chunks — across a bounded worker pool, while an
+// ordered-commit stage funnels the results through the single FrameWriter
+// in submission order. Because gzip runs over the committed byte stream and
+// the committer preserves submission order, the record file is byte-for-byte
+// identical to the single-threaded encoder's output (pinned by
+// TestParallelEncodeByteIdentical).
+//
+// Stage boundaries:
+//
+//	CDC goroutine            workers (EncodeWorkers)        committer
+//	─────────────            ───────────────────────        ─────────
+//	exception scan   ──jobs──▶ Builder.Build          ──▶   <-j.ready
+//	frontier update            Builder.AppendMarshal        fw.WriteFrame
+//	submit (FIFO)              close(j.ready)               (submission order)
+//
+// The CDC goroutine submits every job to the commit queue first and the
+// worker queue second, so the committer's channel order IS submission
+// order; it simply waits for each job's ready latch before writing.
+// Workers never block on the committer, so the commit queue always drains
+// and the pipeline cannot deadlock. Write errors latch into the pipeline
+// (first error wins); later commits become no-ops and every entry point
+// surfaces the latched error.
+package core
+
+import (
+	"compress/gzip"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdcreplay/internal/cdcformat"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/tables"
+)
+
+// gzipPools pools *gzip.Writer per compression level: a deflate writer
+// carries ~1.4 MiB of window and hash state that Reset reuses in full, so
+// encoders (and benchmarks churning through per-run FrameWriters) skip the
+// dominant FrameWriter setup allocation.
+var gzipPools sync.Map // int → *sync.Pool
+
+func getGzipWriter(w io.Writer, level int) (*gzip.Writer, error) {
+	if p, ok := gzipPools.Load(level); ok {
+		if zw, ok := p.(*sync.Pool).Get().(*gzip.Writer); ok {
+			zw.Reset(w)
+			return zw, nil
+		}
+	}
+	return gzip.NewWriterLevel(w, level)
+}
+
+func putGzipWriter(level int, zw *gzip.Writer) {
+	p, ok := gzipPools.Load(level)
+	if !ok {
+		p, _ = gzipPools.LoadOrStore(level, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(zw)
+}
+
+// Job kinds. jobChunk is the only kind workers touch; the rest are
+// committer-side control operations that ride the commit queue to stay
+// ordered relative to chunk frames.
+const (
+	jobChunk      = iota // encode events into a chunk frame
+	jobFrame             // pre-marshaled frame (callsite names)
+	jobFlushPoint        // FrameWriter.FlushPoint(clock)
+	jobFlushOnly         // FrameWriter.Flush (FlushAll round that skipped a stream)
+	jobClose             // FrameWriter.Close(clock)
+)
+
+// encodeJob is one unit of pipeline work. Jobs are pooled and own their
+// events, exceptions, and payload backing arrays; ownership passes CDC
+// goroutine → worker → committer through channel sends, so no lock guards
+// the fields. ready is closed by the worker once payload is final;
+// done (when non-nil) receives the commit result.
+type encodeJob struct {
+	kind       int
+	callsite   uint64
+	clock      uint64
+	frameKind  byte
+	events     []tables.Event
+	exceptions []tables.MatchedEntry
+	payload    []byte
+	ready      chan struct{}
+	done       chan error
+}
+
+// encodePipeline is the worker pool plus ordered committer attached to an
+// Encoder when EncoderOptions.EncodeWorkers > 1.
+type encodePipeline struct {
+	e      *Encoder
+	jobs   chan *encodeJob // worker stage input, FIFO
+	commit chan *encodeJob // committer input, submission order
+	wg     sync.WaitGroup  // workers
+	closed chan struct{}   // committer exited
+
+	// err is the first write error; once set the committer stops writing
+	// and every pipeline entry point returns it.
+	err atomic.Pointer[error]
+
+	// waitCh is reused for blocking operations; the Encoder is driven by a
+	// single goroutine, so at most one waiter exists at a time.
+	waitCh chan error
+
+	jobPool  sync.Pool // *encodeJob
+	builders sync.Pool // *cdcformat.Builder
+
+	// Worker-side stat deltas, folded into Encoder.stats at Close (the
+	// serial path updates them synchronously; workers must not touch the
+	// unsynchronized Stats struct).
+	permuted  atomic.Uint64
+	valuesCDC atomic.Uint64
+
+	// Instruments (nil-safe): worker occupancy with high-water mark, chunk
+	// encode-stage latency, and builder-pool effectiveness.
+	mBusy     *obs.Gauge
+	mStageNs  *obs.Histogram
+	mPoolHit  *obs.Counter
+	mPoolMiss *obs.Counter
+}
+
+func newEncodePipeline(e *Encoder, workers int) *encodePipeline {
+	p := &encodePipeline{
+		e:      e,
+		jobs:   make(chan *encodeJob, workers),
+		commit: make(chan *encodeJob, 2*workers+4),
+		closed: make(chan struct{}),
+		waitCh: make(chan error, 1),
+	}
+	p.jobPool.New = func() any { return new(encodeJob) }
+	p.builders.New = func() any {
+		p.mPoolMiss.Inc()
+		return new(cdcformat.Builder)
+	}
+	if reg := e.obsReg; reg != nil {
+		p.mBusy = reg.Gauge("encode.workers.busy")
+		p.mStageNs = reg.Histogram("encode.stage.ns", obs.LatencyBounds())
+		p.mPoolHit = reg.Counter("encode.pool.hit")
+		p.mPoolMiss = reg.Counter("encode.pool.miss")
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	go p.committer()
+	return p
+}
+
+func (p *encodePipeline) getJob() *encodeJob {
+	return p.jobPool.Get().(*encodeJob)
+}
+
+// submit hands a job to the pipeline. The commit send precedes the worker
+// send so the committer's queue order is exactly submission order. The
+// needsWorker flag is captured before the commit send: a control job may be
+// committed and recycled the moment it is enqueued, so j must not be read
+// afterwards.
+func (p *encodePipeline) submit(j *encodeJob) {
+	needsWorker := j.ready != nil
+	p.commit <- j
+	if needsWorker {
+		p.jobs <- j
+	}
+}
+
+// run submits a control job and blocks until the committer has executed it
+// — and therefore everything submitted before it.
+func (p *encodePipeline) run(j *encodeJob) error {
+	j.done = p.waitCh
+	p.submit(j)
+	return <-p.waitCh
+}
+
+func (p *encodePipeline) firstErr() error {
+	if pe := p.err.Load(); pe != nil {
+		return *pe
+	}
+	return nil
+}
+
+// worker turns chunk jobs into marshaled frame payloads. It owns a pooled
+// Builder for the duration of each job, touches no Encoder state other than
+// atomic counters, and never blocks on the committer.
+func (p *encodePipeline) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.mBusy.Add(1)
+		start := time.Now()
+		b := p.builders.Get().(*cdcformat.Builder)
+		p.mPoolHit.Inc()
+		chunk := b.Build(j.callsite, j.events, !p.e.opts.OmitSenderColumn)
+		chunk.Exceptions = j.exceptions
+		if p.e.mLPE != nil {
+			span := p.e.obsReg.StartSpan("encode.chunk")
+			re, pe, lp := cdcformat.StageSizes(j.events, chunk)
+			p.e.mChunks.Inc()
+			p.e.mRaw.Add(uint64(len(j.events)) * rawBitsPerRow / 8)
+			p.e.mRE.Add(uint64(re))
+			p.e.mPE.Add(uint64(pe))
+			p.e.mLPE.Add(uint64(lp))
+			span.End()
+		}
+		p.permuted.Add(uint64(len(chunk.Moves)))
+		p.valuesCDC.Add(uint64(chunk.ValueCount()))
+		j.payload = b.AppendMarshal(j.payload[:0], chunk)
+		p.builders.Put(b)
+		p.mStageNs.Observe(uint64(time.Since(start)))
+		p.mBusy.Add(-1)
+		close(j.ready)
+	}
+}
+
+// committer is the single goroutine allowed to touch the FrameWriter after
+// the pipeline starts. It drains the commit queue in submission order,
+// waiting for each chunk job's worker to finish before writing its frame.
+func (p *encodePipeline) committer() {
+	defer close(p.closed)
+	for j := range p.commit {
+		if j.ready != nil {
+			<-j.ready
+		}
+		var err error
+		if latched := p.err.Load(); latched != nil {
+			err = *latched
+		} else {
+			switch j.kind {
+			case jobChunk:
+				err = p.e.fw.WriteFrame(frameChunk, j.payload)
+			case jobFrame:
+				err = p.e.fw.WriteFrame(j.frameKind, j.payload)
+			case jobFlushPoint:
+				err = p.e.fw.FlushPoint(j.clock)
+				p.e.reportGzipBytes()
+			case jobFlushOnly:
+				err = p.e.fw.Flush()
+				p.e.reportGzipBytes()
+			case jobClose:
+				err = p.e.fw.Close(j.clock)
+				p.e.reportGzipBytes()
+			}
+			if err != nil {
+				p.err.CompareAndSwap(nil, &err)
+			}
+		}
+		done := j.done
+		p.recycle(j)
+		if done != nil {
+			done <- err
+		}
+	}
+}
+
+// recycle returns a job to the pool, keeping its backing arrays.
+func (p *encodePipeline) recycle(j *encodeJob) {
+	j.ready, j.done = nil, nil
+	j.events = j.events[:0]
+	j.exceptions = j.exceptions[:0]
+	j.payload = j.payload[:0]
+	p.jobPool.Put(j)
+}
+
+// shutdown tears the pipeline down after the close job has committed.
+func (p *encodePipeline) shutdown() {
+	close(p.jobs)
+	p.wg.Wait()
+	close(p.commit)
+	<-p.closed
+}
+
+// flushAsync is the pipeline counterpart of Encoder.flush: it performs the
+// order-sensitive bookkeeping inline — the boundary-exception scan against
+// the pre-chunk frontier and the frontier advance, both of which depend on
+// prior chunks of the same callsite — then hands the event batch to the
+// worker stage and returns without waiting. The pending buffer is swapped
+// with the job's recycled one, so steady-state flushing allocates nothing.
+func (e *Encoder) flushAsync(callsite uint64, ps *pendingStream) error {
+	if len(ps.events) == 0 {
+		return e.pipe.firstErr()
+	}
+	if ps.frontier == nil {
+		ps.frontier = make(map[int32]uint64)
+	}
+	j := e.pipe.getJob()
+	j.kind = jobChunk
+	j.callsite = callsite
+	// Two passes, exceptions before frontier advance: an exception tests
+	// against the frontier as of the previous chunk, and a same-rank event
+	// earlier in this chunk must not hide a later inversion.
+	for _, ev := range ps.events {
+		if ev.Flag && ev.Clock <= ps.frontier[ev.Rank] {
+			j.exceptions = append(j.exceptions,
+				tables.MatchedEntry{Rank: ev.Rank, Clock: ev.Clock})
+		}
+	}
+	for _, ev := range ps.events {
+		if ev.Flag && ev.Clock > ps.frontier[ev.Rank] {
+			ps.frontier[ev.Rank] = ev.Clock
+		}
+	}
+	j.events, ps.events = ps.events, j.events[:0]
+	ps.matched = 0
+	e.stats.Chunks++
+	j.ready = make(chan struct{})
+	e.pipe.submit(j)
+	return e.pipe.firstErr()
+}
+
+// closeParallel is Encoder.Close's pipeline path: flush every stream
+// through the workers, commit the final flush-point/close frame, then tear
+// the pool down and fold the workers' stat deltas into the encoder's.
+func (e *Encoder) closeParallel() error {
+	var flushErr error
+	for _, cs := range e.order {
+		if err := e.flushAsync(cs, e.pending[cs]); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
+	e.stats.FlushPoints++
+	j := e.pipe.getJob()
+	j.kind = jobClose
+	j.clock = e.clock
+	err := e.pipe.run(j)
+	e.pipe.shutdown()
+	e.stats.PermutedMessages += e.pipe.permuted.Load()
+	e.stats.ValuesCDC += e.pipe.valuesCDC.Load()
+	if flushErr != nil {
+		return flushErr
+	}
+	return err
+}

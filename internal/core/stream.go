@@ -214,6 +214,59 @@ func (fr *FrameReader) Next() (*Frame, error) {
 // Close releases the gzip reader. It does not close the underlying reader.
 func (fr *FrameReader) Close() error { return fr.zr.Close() }
 
+// RecordIter is the streaming record-access API: Next yields one verified
+// frame at a time, accumulating callsite names as they stream past, so
+// tooling and replay walk records of any size in bounded memory instead of
+// materializing a *Record. ReadRecord is a thin drain-everything wrapper
+// over it.
+//
+// A RecordIter is not safe for concurrent use. Close releases the
+// decompressor but, like FrameReader, does not close the underlying reader.
+type RecordIter struct {
+	fr    *FrameReader
+	names map[uint64]string
+}
+
+// OpenRecord validates the record magic and returns a streaming iterator
+// over its frames.
+func OpenRecord(rd io.Reader) (*RecordIter, error) {
+	fr, err := NewFrameReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordIter{fr: fr, names: make(map[uint64]string)}, nil
+}
+
+// Next returns the next verified frame, io.EOF at a clean end of stream, or
+// a *TruncatedRecordError where the intact prefix ends. Callsite-name
+// frames are returned like any other, after registering in Names.
+func (it *RecordIter) Next() (*Frame, error) {
+	f, err := it.fr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind == frameCallsite {
+		it.names[f.CallsiteID] = f.CallsiteName
+	}
+	return f, nil
+}
+
+// Names maps callsite IDs to registered names, for the frames seen so far.
+// The map is live: later Next calls may add entries.
+func (it *RecordIter) Names() map[uint64]string { return it.names }
+
+// Frames reports the number of CRC-verified frames returned so far.
+func (it *RecordIter) Frames() uint64 { return it.fr.Frames() }
+
+// Events reports the matched receive events in the verified frames so far.
+func (it *RecordIter) Events() uint64 { return it.fr.Events() }
+
+// FlushPoints reports the flush-point marks seen so far.
+func (it *RecordIter) FlushPoints() uint64 { return it.fr.FlushPoints() }
+
+// Close releases the decompressor. It does not close the underlying reader.
+func (it *RecordIter) Close() error { return it.fr.Close() }
+
 // fail latches the stream as damaged past the current intact prefix.
 func (fr *FrameReader) fail(cause error) error {
 	fr.err = &TruncatedRecordError{

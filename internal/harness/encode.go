@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/tables"
+	"cdcreplay/internal/workload"
+)
+
+// EncodeWorkerRun is one worker-count measurement of the chunk-encoding
+// pipeline over the shared synthetic workload.
+type EncodeWorkerRun struct {
+	// Workers is the EncoderOptions.EncodeWorkers setting; 1 is the
+	// single-threaded reference path.
+	Workers int `json:"workers"`
+	// NsTotal is the wall-clock encode time for the whole stream.
+	NsTotal int64 `json:"ns_total"`
+	// EventsPerSec and NsPerEvent are the throughput views of NsTotal.
+	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	// Speedup is this run's throughput over the workers=1 run.
+	Speedup float64 `json:"speedup"`
+	// AllocsPerEvent is heap allocations per observed event (mallocs from
+	// runtime.MemStats), the pooling-effectiveness gauge.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Bytes is the record size produced (identical across worker counts).
+	Bytes int64 `json:"bytes"`
+	// Digest is the SHA-256 of the produced record stream.
+	Digest string `json:"digest"`
+}
+
+// EncodeResult is the machine-readable BENCH_encode.json payload: the
+// serial-vs-parallel encode throughput comparison plus the byte-identity
+// check across worker counts.
+type EncodeResult struct {
+	Seed   int64 `json:"seed"`
+	Full   bool  `json:"full"`
+	Events int   `json:"events"`
+	Rows   int   `json:"rows"`
+	// Identical reports that every worker count produced the exact same
+	// record bytes as the workers=1 reference (the ordered-commit format
+	// guarantee, checked by digest).
+	Identical bool              `json:"identical_output"`
+	Runs      []EncodeWorkerRun `json:"runs"`
+}
+
+// Validate checks the capture is usable as a regression gate.
+func (r *EncodeResult) Validate() error {
+	if len(r.Runs) < 2 {
+		return fmt.Errorf("encode: need a serial run and at least one parallel run, have %d", len(r.Runs))
+	}
+	if !r.Identical {
+		return fmt.Errorf("encode: parallel output diverged from serial output")
+	}
+	for _, run := range r.Runs {
+		if run.EventsPerSec <= 0 {
+			return fmt.Errorf("encode: workers=%d measured no throughput", run.Workers)
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the result to path (indented, trailing newline).
+func (r *EncodeResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// encodeStream is the fixed multi-callsite workload every worker count
+// encodes: three MCB-like streams interleaved the way a recorder's CDC
+// thread sees them.
+type encodeStream struct {
+	callsites []uint64
+	rows      []Row
+	events    int
+}
+
+func makeEncodeStream(events int, seed int64) encodeStream {
+	s := encodeStream{callsites: []uint64{0x10, 0x20, 0x30}}
+	perSite := make([][]tables.Event, len(s.callsites))
+	for i := range s.callsites {
+		perSite[i] = workload.Stream(workload.MCBLike(events/len(s.callsites), 1, seed+int64(i)))
+	}
+	// Round-robin interleave, emulating arrival interleaving across
+	// concurrent callsites.
+	for n := 0; ; n++ {
+		emitted := false
+		for i, evs := range perSite {
+			if n < len(evs) {
+				s.rows = append(s.rows, Row{Callsite: s.callsites[i], Ev: evs[n]})
+				emitted = true
+			}
+		}
+		if !emitted {
+			break
+		}
+	}
+	for _, r := range s.rows {
+		if r.Ev.Flag {
+			s.events++
+		}
+	}
+	return s
+}
+
+// encodeOnce drives one encoder over the stream and reports wall time,
+// malloc count, and the produced bytes.
+func encodeOnce(s encodeStream, workers int, chunkEvents int) (ns int64, mallocs uint64, out []byte, err error) {
+	var buf bytes.Buffer
+	buf.Grow(1 << 20)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	enc, err := core.NewEncoder(&buf, core.EncoderOptions{
+		ChunkEvents:   chunkEvents,
+		EncodeWorkers: workers,
+	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	for i, cs := range s.callsites {
+		if err := enc.RegisterCallsite(cs, fmt.Sprintf("bench/site%d", i)); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	for _, r := range s.rows {
+		if err := enc.Observe(r.Callsite, r.Ev); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	if err := enc.Close(); err != nil {
+		return 0, 0, nil, err
+	}
+	ns = time.Since(start).Nanoseconds()
+	runtime.ReadMemStats(&after)
+	return ns, after.Mallocs - before.Mallocs, buf.Bytes(), nil
+}
+
+// Encode measures the chunk-encoding pipeline serial vs parallel
+// (EncodeWorkers 1/2/4/8) over one shared synthetic workload, reporting
+// throughput, allocations per event, and the byte-identity of every
+// parallel output against the serial reference.
+func Encode(cfg Config) (*EncodeResult, error) {
+	cfg.fill()
+	events := cfg.pick(60_000, 300_000)
+	s := makeEncodeStream(events, cfg.Seed+11)
+	result := &EncodeResult{
+		Seed:      cfg.Seed,
+		Full:      cfg.Full,
+		Events:    s.events,
+		Rows:      len(s.rows),
+		Identical: true,
+	}
+	const chunkEvents = 512 // enough chunks in flight to exercise the pool
+
+	cfg.printf("Encode pipeline: serial vs parallel over %d rows (%d matched events)\n",
+		len(s.rows), s.events)
+	cfg.printf("%8s %12s %12s %10s %14s %10s\n",
+		"workers", "total", "events/s", "speedup", "allocs/event", "bytes")
+	var refDigest string
+	var refEps float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		// Warm-up run primes the builder/job/gzip pools and the page
+		// cache so the measured pass sees steady state.
+		if _, _, _, err := encodeOnce(s, workers, chunkEvents); err != nil {
+			return nil, fmt.Errorf("encode: warmup workers=%d: %w", workers, err)
+		}
+		ns, mallocs, out, err := encodeOnce(s, workers, chunkEvents)
+		if err != nil {
+			return nil, fmt.Errorf("encode: workers=%d: %w", workers, err)
+		}
+		sum := sha256.Sum256(out)
+		run := EncodeWorkerRun{
+			Workers:        workers,
+			NsTotal:        ns,
+			EventsPerSec:   float64(s.events) / (float64(ns) / 1e9),
+			NsPerEvent:     float64(ns) / float64(s.events),
+			AllocsPerEvent: float64(mallocs) / float64(s.events),
+			Bytes:          int64(len(out)),
+			Digest:         hex.EncodeToString(sum[:]),
+		}
+		if workers == 1 {
+			refDigest, refEps = run.Digest, run.EventsPerSec
+		} else if run.Digest != refDigest {
+			result.Identical = false
+		}
+		run.Speedup = run.EventsPerSec / refEps
+		result.Runs = append(result.Runs, run)
+		cfg.printf("%8d %12s %12.0f %9.2fx %14.3f %10d\n",
+			workers, time.Duration(ns).Round(time.Microsecond), run.EventsPerSec,
+			run.Speedup, run.AllocsPerEvent, run.Bytes)
+	}
+	if !result.Identical {
+		cfg.printf("WARNING: parallel output diverged from serial output\n")
+	}
+	if err := result.Validate(); err != nil {
+		return result, err
+	}
+	return result, nil
+}

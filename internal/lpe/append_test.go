@@ -1,0 +1,43 @@
+package lpe
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAppendEncodeMatchesEncode pins the append variant to Encode on random
+// sequences, including appending after existing content.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		xs := make([]int64, rng.Intn(100))
+		for i := range xs {
+			xs[i] = rng.Int63n(1 << 30)
+		}
+		want := Encode(nil, xs)
+		got := AppendEncode(nil, xs)
+		if len(xs) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: append %v, encode %v", trial, got, want)
+		}
+		prefixed := AppendEncode([]int64{-1, -2}, xs)
+		if !reflect.DeepEqual(prefixed[2:], want) || prefixed[0] != -1 || prefixed[1] != -2 {
+			t.Fatalf("trial %d: append after prefix corrupted: %v", trial, prefixed)
+		}
+	}
+}
+
+// TestAppendEncodeAllocs pins the reused-buffer path at zero allocations.
+func TestAppendEncodeAllocs(t *testing.T) {
+	xs := make([]int64, 4096)
+	for i := range xs {
+		xs[i] = int64(i * 3)
+	}
+	dst := AppendEncode(nil, xs) // size the buffer
+	if allocs := testing.AllocsPerRun(50, func() { dst = AppendEncode(dst[:0], xs) }); allocs != 0 {
+		t.Fatalf("warm AppendEncode allocates %v times per call, want 0", allocs)
+	}
+}

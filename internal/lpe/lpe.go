@@ -30,6 +30,19 @@ func Encode(dst, xs []int64) []int64 {
 	return dst
 }
 
+// AppendEncode appends the LP residuals of xs to dst and returns the
+// extended slice — the pooling-friendly variant of Encode: a caller that
+// keeps dst's backing array (e.g. a per-worker scratch in the parallel
+// encode pipeline) pays zero allocations in steady state.
+func AppendEncode(dst, xs []int64) []int64 {
+	var x1, x2 int64
+	for _, x := range xs {
+		dst = append(dst, x-2*x1+x2)
+		x2, x1 = x1, x
+	}
+	return dst
+}
+
 // EncodedSize returns the total zigzag-varint byte size of the LP residuals
 // of xs, without allocating the residual slice — the LPE stage's
 // contribution to the per-stage byte accounting (DESIGN.md §8).

@@ -49,14 +49,87 @@ type Move struct {
 // permutation of 0..len(obs)−1; Encode panics otherwise (callers construct
 // obs by ranking, so a violation is a programming error).
 func Encode(obs []int) []Move {
-	keep := lisMask(obs)
-	var moves []Move
+	var s Scratch
+	moves := s.Encode(obs)
+	if len(moves) == 0 {
+		return nil
+	}
+	return append([]Move(nil), moves...)
+}
+
+// Scratch holds the reusable working state of repeated Encode calls: the
+// patience-sorting piles, predecessor links, LIS mask, and the move slice
+// itself. A pooled Scratch makes chunk encoding allocation-free in steady
+// state (the parallel encode pipeline keeps one per worker). The zero value
+// is ready to use.
+type Scratch struct {
+	tails []int
+	prev  []int
+	mask  []bool
+	moves []Move
+}
+
+// Encode is the append-into-scratch variant of the package-level Encode.
+// The returned slice is owned by the Scratch and only valid until its next
+// Encode call; callers that retain moves past that must copy them.
+func (s *Scratch) Encode(obs []int) []Move {
+	keep := s.lisMask(obs)
+	moves := s.moves[:0]
 	for i, r := range obs {
 		if !keep[i] {
 			moves = append(moves, Move{ObservedIndex: int64(i), Delay: int64(i - r)})
 		}
 	}
+	s.moves = moves
 	return moves
+}
+
+// lisMask is the scratch-backed core of the package-level lisMask: same
+// algorithm, buffers reused across calls and the pile binary search inlined
+// (sort.Search's closure shows up hot in chunk-encoding profiles).
+func (s *Scratch) lisMask(obs []int) []bool {
+	n := len(obs)
+	if cap(s.mask) < n {
+		s.mask = make([]bool, n)
+		s.prev = make([]int, n)
+		s.tails = make([]int, 0, n)
+	}
+	mask := s.mask[:n]
+	for i := range mask {
+		mask[i] = false
+	}
+	if n == 0 {
+		return mask
+	}
+	prev := s.prev[:n]
+	tails := s.tails[:0]
+	for i, v := range obs {
+		// Find the first pile whose tail value is >= v.
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if obs[tails[mid]] >= v {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo == 0 {
+			prev[i] = -1
+		} else {
+			prev[i] = tails[lo-1]
+		}
+		if lo == len(tails) {
+			tails = append(tails, i)
+		} else {
+			tails[lo] = i
+		}
+	}
+	s.tails = tails
+	for i := tails[len(tails)-1]; i >= 0; i = prev[i] {
+		mask[i] = true
+	}
+	return mask
 }
 
 // EncodedSize returns the plain (pre-LPE) zigzag-varint byte size of the

@@ -1,0 +1,53 @@
+package permdiff
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestScratchMatchesEncode pins the scratch-based encoder to the
+// allocating one across random permutations, reusing one Scratch so buffer
+// recycling (including shrink after a large input) is exercised.
+func TestScratchMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Scratch
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		obs := rng.Perm(n)
+		want := Encode(obs)
+		got := s.Encode(obs)
+		if len(got) == 0 {
+			got = nil
+		} else {
+			got = append([]Move(nil), got...)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): scratch %v, package %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestScratchEncodeAllocs pins the warm scratch path at zero allocations
+// per call — the property that lets the encode pipeline pool one Scratch
+// per worker.
+func TestScratchEncodeAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	obs := rng.Perm(4096)
+	var s Scratch
+	s.Encode(obs) // warm the buffers
+	if allocs := testing.AllocsPerRun(50, func() { s.Encode(obs) }); allocs != 0 {
+		t.Fatalf("warm Scratch.Encode allocates %v times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkScratchEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	obs := rng.Perm(4096)
+	var s Scratch
+	b.SetBytes(int64(len(obs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Encode(obs)
+	}
+}

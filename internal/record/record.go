@@ -50,6 +50,9 @@ type Options struct {
 	// function of the event stream, so crash tests can place flush points
 	// deterministically.
 	FlushEveryRows int
+	// Backoff tunes the observe queue's idle backoff; zero fields take
+	// spsc.DefaultBackoff values.
+	Backoff spsc.Backoff
 	// Obs, when non-nil, receives the recorder's metrics (record.* names,
 	// DESIGN.md §8). Nil disables instrumentation at the cost of one
 	// pointer check per instrument site.
@@ -126,7 +129,7 @@ func New(next simmpi.MPI, backend baseline.Method, opts Options) *Recorder {
 		next:         next,
 		backend:      backend,
 		opts:         opts,
-		q:            spsc.New[queueItem](opts.QueueCapacity),
+		q:            spsc.NewWithBackoff[queueItem](opts.QueueCapacity, opts.Backoff),
 		done:         make(chan error, 1),
 		seenCallsite: make(map[uint64]bool),
 	}

@@ -51,6 +51,18 @@ type Manifest struct {
 	// Salvaged marks a directory produced by Salvage: a consistent prefix
 	// of a crashed run, replayable up to the crash frontier.
 	Salvaged bool `json:"salvaged,omitempty"`
+	// Spsc records the observe-queue idle-backoff parameters the run used
+	// (nil for records predating the field), so a recording's latency
+	// behaviour is reproducible from its manifest alone.
+	Spsc *SpscBackoff `json:"spsc_backoff,omitempty"`
+}
+
+// SpscBackoff is the manifest form of spsc.Backoff (see that type for
+// semantics). MaxNap is stored in nanoseconds to keep the JSON integral.
+type SpscBackoff struct {
+	SpinBeforeYield int   `json:"spin_before_yield"`
+	YieldBeforeNap  int   `json:"yield_before_nap"`
+	MaxNapNs        int64 `json:"max_nap_ns"`
 }
 
 // RankPath returns the record file path for a rank.
@@ -164,7 +176,7 @@ func Open(dir string, wantApp string, wantRanks int) (Manifest, error) {
 		return m, err
 	}
 	if !m.Complete {
-		return m, fmt.Errorf("%w: %s (run cdcinspect -salvage to recover a prefix)", ErrIncomplete, dir)
+		return m, fmt.Errorf("%w: %s (run cdcinspect salvage to recover a prefix)", ErrIncomplete, dir)
 	}
 	if wantApp != "" && m.App != wantApp {
 		return m, fmt.Errorf("recorddir: record is of app %q, not %q", m.App, wantApp)
