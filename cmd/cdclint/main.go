@@ -1,0 +1,75 @@
+// Command cdclint runs cdcreplay's repo-specific static analyzers over the
+// module and exits non-zero on findings. It enforces the determinism and
+// safety invariants DESIGN.md §10 documents: no wall-clock or randomness
+// in the encode/decode packages, no map-iteration order leaking into
+// serialized bytes, no swallowed storage errors, guarded obs instruments,
+// no copied locks or unaligned atomics, and no panics in library code.
+//
+// Usage:
+//
+//	cdclint [-json] [-out file] [-list] [packages...]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Exit status: 0 clean, 1 findings, 2 usage or load/typecheck failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdcreplay/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON ({count, findings})")
+	outFile := flag.String("out", "", "write the report to this file instead of stdout")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cdclint [-json] [-out file] [-list] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(cwd, flag.Args(), lint.Analyzers(), lint.Config{})
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if *jsonOut {
+		err = lint.WriteJSON(out, findings)
+	} else {
+		err = lint.WriteText(out, findings)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdclint:", err)
+	os.Exit(2)
+}

@@ -162,7 +162,7 @@ func (b *Builder) Build(callsite uint64, events []tables.Event, senders bool) *C
 				b.overflow[m.Rank] = m.Clock
 			}
 		}
-		for r, clk := range b.overflow {
+		for r, clk := range b.overflow { //cdc:allow(maporder) entries are sorted by rank immediately below
 			epoch = append(epoch, EpochEntry{Rank: r, Clock: clk})
 		}
 		slices.SortFunc(epoch, func(x, y EpochEntry) int {

@@ -420,12 +420,12 @@ func buildFromReduced(callsite uint64, red *tables.Reduced, senders bool) *Chunk
 		clockSeen[m.Clock]++
 	}
 	var epoch []EpochEntry
-	for r, clk := range frontier {
+	for r, clk := range frontier { //cdc:allow(maporder) entries are sorted by rank immediately below
 		epoch = append(epoch, EpochEntry{Rank: r, Clock: clk})
 	}
 	sort.Slice(epoch, func(i, j int) bool { return epoch[i].Rank < epoch[j].Rank })
 	var ties []TiedClock
-	for clk, n := range clockSeen {
+	for clk, n := range clockSeen { //cdc:allow(maporder) ties are sorted by clock immediately below
 		if n > 1 {
 			ties = append(ties, TiedClock{Clock: clk, Count: uint64(n)})
 		}

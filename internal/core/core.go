@@ -565,7 +565,7 @@ func ReadRecord(rd io.Reader) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer it.Close()
+	defer it.Close() //cdc:allow(errsink) read-side close; decode and checksum errors surface from Next
 	rec := &Record{
 		Chunks: make(map[uint64][]*cdcformat.Chunk),
 	}

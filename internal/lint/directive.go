@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveCheck is the pseudo-check name under which malformed
+// suppression directives are reported. A broken //cdc:allow must be a
+// finding, not a silent no-op, or a typo would disable enforcement.
+const DirectiveCheck = "directive"
+
+// Directive grammar:
+//
+//	//cdc:allow(<check>) <reason>   — suppress <check> findings on this
+//	                                  line or the line below; the reason is
+//	                                  mandatory and becomes the inventory
+//	                                  of intentional violations.
+//	//cdc:invariant <reason>        — tag a panic as an internal-invariant
+//	                                  assertion; suppresses panicfree. The
+//	                                  reason is optional but encouraged.
+//
+// Directives follow the //go: convention: no space after the slashes.
+type Directive struct {
+	File string
+	Line int
+	// Kind is "allow" or "invariant".
+	Kind string
+	// Check is the suppressed check name (allow only).
+	Check string
+	// Reason is the justification text.
+	Reason string
+}
+
+// ParseDirectives extracts cdc directives from one file. known is the set
+// of valid check names for //cdc:allow; anything starting with "cdc:" that
+// does not parse, names an unknown check, or omits the reason is returned
+// as a DirectiveCheck finding.
+func ParseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool) ([]Directive, []Finding) {
+	var ds []Directive
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		bad = append(bad, Finding{
+			Check:   DirectiveCheck,
+			File:    p.Filename,
+			Line:    p.Line,
+			Col:     p.Column,
+			Message: msg,
+		})
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//cdc:")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			switch {
+			case strings.HasPrefix(text, "allow"):
+				rest := strings.TrimPrefix(text, "allow")
+				open := strings.IndexByte(rest, '(')
+				close := strings.IndexByte(rest, ')')
+				if open != 0 || close < 0 {
+					report(c.Pos(), "malformed //cdc:allow directive: want //cdc:allow(<check>) <reason>")
+					continue
+				}
+				check := rest[open+1 : close]
+				reason := strings.TrimSpace(rest[close+1:])
+				if !known[check] {
+					report(c.Pos(), "//cdc:allow names unknown check \""+check+"\"")
+					continue
+				}
+				if reason == "" {
+					report(c.Pos(), "//cdc:allow("+check+") is missing its reason: every suppression must say why")
+					continue
+				}
+				ds = append(ds, Directive{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Kind:   "allow",
+					Check:  check,
+					Reason: reason,
+				})
+			case text == "invariant" || strings.HasPrefix(text, "invariant "):
+				ds = append(ds, Directive{
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Kind:   "invariant",
+					Reason: strings.TrimSpace(strings.TrimPrefix(text, "invariant")),
+				})
+			default:
+				report(c.Pos(), "unknown cdc directive //cdc:"+text+": want //cdc:allow(<check>) <reason> or //cdc:invariant")
+			}
+		}
+	}
+	return ds, bad
+}
+
+// applySuppressions drops findings covered by an allow directive for their
+// check (or an invariant tag, for panicfree) on the same line or the line
+// directly above.
+func applySuppressions(findings []Finding, directives []Directive, r *run) []Finding {
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	allowed := make(map[key]bool)
+	for _, d := range directives {
+		file := r.relFile(d.File)
+		check := d.Check
+		if d.Kind == "invariant" {
+			check = PanicfreeAnalyzer.Name
+		}
+		// A directive covers its own line (trailing comment) and the next
+		// line (comment above the offending statement).
+		allowed[key{file, d.Line, check}] = true
+		allowed[key{file, d.Line + 1, check}] = true
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if allowed[key{f.File, f.Line, f.Check}] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

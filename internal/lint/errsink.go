@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrsinkAnalyzer flags implicitly discarded errors from the write/flush/
+// close family in the storage-facing packages. PR 1's crash-consistency
+// guarantee (a salvageable prefix up to the last durable flush point) only
+// holds if every error on the durable path is observed: a swallowed
+// fsync or Close error silently converts "durable" into "probably
+// durable". Flagged are bare call statements, defers, and go statements
+// whose callee returns an error that nobody receives; an explicit `_ =`
+// assignment is treated as a considered decision and not flagged.
+var ErrsinkAnalyzer = &Analyzer{
+	Name: "errsink",
+	Doc: "flag discarded error returns from Write/Flush/Sync/Close in the " +
+		"storage packages",
+	Scope: []string{
+		"internal/core",
+		"internal/record",
+		"internal/recorddir",
+	},
+	Run: runErrsink,
+}
+
+// errsinkMethods is the write/flush/close family whose errors carry
+// durability or data-loss information.
+var errsinkMethods = map[string]bool{
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteFrame":  true,
+	"WriteTo":     true,
+	"ReadFrom":    true,
+}
+
+func runErrsink(pass *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		fn, ok := obj.(*types.Func)
+		if !ok || !errsinkMethods[fn.Name()] {
+			return
+		}
+		// Only method calls: package-level helpers that drop errors are
+		// visible at their own return sites.
+		if _, isSel := pass.Info.Selections[sel]; !isSel {
+			return
+		}
+		sig := fn.Type().(*types.Signature)
+		res := sig.Results()
+		if res.Len() == 0 {
+			return
+		}
+		last := res.At(res.Len() - 1).Type()
+		if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"error from %s%s() discarded: on the storage path every Write/Flush/Sync/Close error must be propagated (or annotated //cdc:allow(errsink) with a reason)",
+			how, fn.Name())
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, "deferred ")
+			case *ast.GoStmt:
+				check(n.Call, "go ")
+			}
+			return true
+		})
+	}
+}

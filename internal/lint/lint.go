@@ -1,0 +1,233 @@
+// Package lint is cdcreplay's repo-specific static analyzer. It enforces
+// the invariants CDC's replayable-clock proof rests on but the compiler
+// cannot see: the encode/decode/replay paths must produce byte-identical
+// reference order between record and replay, which means they must be free
+// of wall-clock reads, unseeded randomness, map-iteration-order leakage,
+// swallowed durable-path errors, unguarded instrument access, copied locks,
+// and stray panics. Each invariant is one Analyzer; cmd/cdclint runs them
+// over the module and exits non-zero on findings.
+//
+// The framework is deliberately zero-dependency: packages are loaded with
+// go/parser and typechecked with go/types, resolving module-local imports
+// from source and standard-library imports through go/importer. go.mod
+// stays require-free.
+//
+// Intentional violations are suppressed in source with a directive that
+// demands a reason:
+//
+//	//cdc:allow(<check>) <reason>
+//
+// placed on the offending line or the line directly above it. panic calls
+// that assert internal invariants are tagged //cdc:invariant instead (see
+// directive.go). DESIGN.md §10 documents every check and the directive
+// grammar.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position. File is relative to
+// the module root so output is stable across checkouts.
+type Finding struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Check, f.Message)
+}
+
+// Analyzer is one invariant check. Scope lists the module-relative package
+// paths it applies to ("internal/core", "internal/..." for a subtree, "..."
+// for every package); a nil Scope means every package.
+type Analyzer struct {
+	Name  string
+	Doc   string
+	Scope []string
+	Run   func(*Pass)
+}
+
+// Pass hands one package to one analyzer and collects its findings.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// RelPath is the package path relative to the module root ("." for the
+	// root package).
+	RelPath string
+
+	run      *run
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Check:   p.Analyzer.Name,
+		File:    p.run.relFile(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Config adjusts a Run. The zero value uses each analyzer's default scope.
+type Config struct {
+	// Scopes overrides the package scope per check name. Patterns are
+	// module-relative package paths; "..." matches everything and a
+	// trailing "/..." matches a subtree.
+	Scopes map[string][]string
+}
+
+// Analyzers returns the full analyzer set in a fixed order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NodetermAnalyzer,
+		MaporderAnalyzer,
+		ErrsinkAnalyzer,
+		ObsguardAnalyzer,
+		LocksafeAnalyzer,
+		PanicfreeAnalyzer,
+	}
+}
+
+// CheckNames returns the names of every analyzer plus the directive
+// pseudo-check, the vocabulary valid inside //cdc:allow(...).
+func CheckNames() []string {
+	names := []string{DirectiveCheck}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// run carries state shared by every pass of one Run call.
+type run struct {
+	root string
+}
+
+func (r *run) relFile(filename string) string {
+	if rel, ok := strings.CutPrefix(filename, r.root+"/"); ok {
+		return rel
+	}
+	return filename
+}
+
+// Run loads the packages matched by patterns under the module rooted at
+// root, applies analyzers, filters suppressed findings, and returns the
+// survivors sorted by position. Load or typecheck failures abort with an
+// error rather than findings: the analyzers need well-typed input.
+func Run(root string, patterns []string, analyzers []*Analyzer, cfg Config) ([]Finding, error) {
+	root, _, err := FindModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := Load(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{root: root}
+
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	var directives []Directive
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ds, bad := ParseDirectives(pkg.Fset, file, known)
+			directives = append(directives, ds...)
+			for _, f := range bad {
+				f.File = r.relFile(f.File)
+				findings = append(findings, f)
+			}
+		}
+		for _, a := range analyzers {
+			scope := a.Scope
+			if s, ok := cfg.Scopes[a.Name]; ok {
+				scope = s
+			}
+			if !inScope(pkg.RelPath, scope) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				RelPath:  pkg.RelPath,
+				run:      r,
+			}
+			a.Run(pass)
+			findings = append(findings, pass.findings...)
+		}
+	}
+
+	findings = applySuppressions(findings, directives, r)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}
+
+// inScope reports whether a module-relative package path matches any scope
+// pattern. A nil scope matches everything.
+func inScope(relPath string, scope []string) bool {
+	if scope == nil {
+		return true
+	}
+	for _, pat := range scope {
+		if pat == "..." || pat == relPath {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if relPath == sub || strings.HasPrefix(relPath, sub+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// typeIsNamed reports whether t (after pointer indirection) is the named
+// type pkgName.typeName. Matching by package *name* rather than full path
+// keeps the analyzers honest on the fixture corpus, which re-declares
+// skeleton packages under its own module path.
+func typeIsNamed(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}

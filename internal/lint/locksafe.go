@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LocksafeAnalyzer flags two lock-misuse classes that corrupt the
+// recorder's concurrency silently rather than loudly.
+//
+// Copied locks: a sync.Mutex/Once/WaitGroup value that is copied (value
+// receiver, range copy, plain assignment from an existing value) forks the
+// lock state — two goroutines each lock their own copy and the critical
+// section evaporates. This overlaps go vet's copylocks but runs in the
+// same pass as the CDC-specific checks so one tool gates CI.
+//
+// Unaligned atomics: sync/atomic's 64-bit functions require 8-byte
+// alignment, which Go only guarantees for struct fields at 8-aligned
+// offsets; on 32-bit platforms a misplaced field panics at runtime.
+// Offsets are computed under a 32-bit size model so the check bites even
+// though CI runs 64-bit. (The newer atomic.Int64/Uint64 types are always
+// aligned and are the preferred fix.)
+var LocksafeAnalyzer = &Analyzer{
+	Name: "locksafe",
+	Doc: "flag copied sync.Mutex/Once/WaitGroup values and 64-bit " +
+		"sync/atomic ops on fields not 8-aligned under a 32-bit layout",
+	Run: runLocksafe,
+}
+
+// locksafeSyncTypes are the sync types whose values must never be copied
+// after first use.
+var locksafeSyncTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"Once":      true,
+	"WaitGroup": true,
+	"Cond":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+// locksafeAtomic64Funcs are the sync/atomic package functions needing
+// 8-byte alignment of their operand.
+var locksafeAtomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// locksafeSizes models a 32-bit platform (the strictest alignment case).
+var locksafeSizes = types.SizesFor("gc", "386")
+
+func runLocksafe(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkValueReceiver(pass, n)
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, n)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+						checkValueCopy(pass, rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkValueCopy(pass, v)
+				}
+			case *ast.CallExpr:
+				checkAtomicAlign(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// lockPath returns a description of the sync type t contains (directly or
+// through struct/array nesting), or "" if it holds none.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && locksafeSyncTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockPath(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPath(u.Field(i).Type(), seen); p != "" {
+				return u.Field(i).Name() + " (" + p + ")"
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}
+
+func checkValueReceiver(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return
+	}
+	recv := fn.Recv.List[0]
+	if _, isPtr := recv.Type.(*ast.StarExpr); isPtr {
+		return
+	}
+	tv, ok := pass.Info.Types[recv.Type]
+	if !ok {
+		return
+	}
+	if p := lockPath(tv.Type, nil); p != "" {
+		pass.Reportf(fn.Name.Pos(),
+			"method %s has a value receiver containing %s: every call copies the lock — use a pointer receiver",
+			fn.Name.Name, p)
+	}
+}
+
+func checkRangeCopy(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// The value var is a definition, so its type lives in Defs, which
+	// TypeOf consults.
+	typ := pass.Info.TypeOf(rng.Value)
+	if typ == nil {
+		return
+	}
+	if p := lockPath(typ, nil); p != "" {
+		pass.Reportf(rng.Value.Pos(),
+			"range copies values containing %s: iterate by index or over pointers instead",
+			p)
+	}
+}
+
+// checkValueCopy flags assignment from an existing addressable value whose
+// type contains a lock. Composite literals and calls construct fresh
+// values and are fine.
+func checkValueCopy(pass *Pass, rhs ast.Expr) {
+	switch rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	tv, ok := pass.Info.Types[rhs]
+	if !ok || !tv.IsValue() {
+		return
+	}
+	if p := lockPath(tv.Type, nil); p != "" {
+		pass.Reportf(rhs.Pos(),
+			"assignment copies a value containing %s: share it through a pointer instead",
+			p)
+	}
+}
+
+func checkAtomicAlign(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !locksafeAtomic64Funcs[obj.Name()] {
+		return
+	}
+	addr, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return
+	}
+	field, ok := addr.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	off, known := fieldOffset32(pass, field)
+	if known && off%8 != 0 {
+		pass.Reportf(call.Pos(),
+			"atomic.%s on field %s at 32-bit offset %d (not 8-aligned): panics on 32-bit platforms — move the field first or use atomic.Int64/Uint64",
+			obj.Name(), field.Sel.Name, off)
+	}
+}
+
+// fieldOffset32 computes the byte offset of a (possibly nested) field
+// selection from the outermost struct under the 32-bit size model.
+// Returns known=false when the expression is not a plain field chain.
+func fieldOffset32(pass *Pass, sel *ast.SelectorExpr) (int64, bool) {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return 0, false
+	}
+	off, ok := structFieldOffset(selection)
+	if !ok {
+		return 0, false
+	}
+	// Accumulate enclosing field selections (&a.b.c): alignment of c
+	// within b is only meaningful relative to a's layout.
+	if inner, isSel := sel.X.(*ast.SelectorExpr); isSel {
+		if innerSel, ok := pass.Info.Selections[inner]; ok && innerSel.Kind() == types.FieldVal {
+			// Pointer indirection resets layout: (&a.b).c via pointer field
+			// starts a fresh allocation with guaranteed 8-alignment.
+			if _, isPtr := innerSel.Type().(*types.Pointer); !isPtr {
+				innerOff, ok := fieldOffset32(pass, inner)
+				if !ok {
+					return 0, false
+				}
+				return innerOff + off, true
+			}
+		}
+	}
+	return off, true
+}
+
+// structFieldOffset resolves one selection's offset within its immediate
+// struct, walking any embedded-field hops in the selection index chain.
+func structFieldOffset(selection *types.Selection) (int64, bool) {
+	t := selection.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	var total int64
+	index := selection.Index()
+	for i, idx := range index {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for j := range fields {
+			fields[j] = st.Field(j)
+		}
+		offsets := locksafeSizes.Offsetsof(fields)
+		total += offsets[idx]
+		t = st.Field(idx).Type()
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			// An embedded-pointer hop starts a fresh (8-aligned heap)
+			// allocation; alignment restarts there.
+			if i < len(index)-1 {
+				total = 0
+			}
+		}
+	}
+	return total, true
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MaporderAnalyzer flags ranging over a map while writing to an
+// order-sensitive sink — appending to a slice, writing to an io.Writer /
+// strings.Builder / hash, printing, or storing into slice elements. Go
+// randomizes map iteration order per run, so any bytes or table built that
+// way differ between record and replay even on identical input. Iterations
+// that only aggregate (sum into a scalar, fill another map) are fine and
+// not flagged; intentional cases that sort afterwards carry a
+// //cdc:allow(maporder) with the sorting noted as the reason.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose body writes to a slice, writer, hash, " +
+		"or printed output (iteration order leaks into bytes)",
+	Run: runMaporder,
+}
+
+// maporderWriteMethods are method names that serialize their argument into
+// an ordered sink (io.Writer, strings.Builder, bytes.Buffer, hash.Hash).
+var maporderWriteMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Sum":         true,
+}
+
+// maporderPrintFuncs are fmt functions that emit ordered output.
+var maporderPrintFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runMaporder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if kind := maporderSink(pass, rng.Body); kind != "" {
+				pass.Reportf(rng.Pos(),
+					"range over map %s inside this loop: map iteration order is randomized, so the produced order differs between record and replay",
+					kind)
+			}
+			return true
+		})
+	}
+}
+
+// maporderSink scans a map-range body for the first order-sensitive write
+// and describes it, or returns "" if the body only aggregates.
+func maporderSink(pass *Pass, body *ast.BlockStmt) string {
+	kind := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
+					kind = "appends to a slice"
+					return false
+				}
+			case *ast.SelectorExpr:
+				obj := pass.Info.Uses[fun.Sel]
+				if obj == nil {
+					return true
+				}
+				if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && maporderPrintFuncs[obj.Name()] {
+					kind = "prints ordered output"
+					return false
+				}
+				// Method call on some receiver: Write-family or hash Sum.
+				if _, isSel := pass.Info.Selections[fun]; isSel && maporderWriteMethods[obj.Name()] {
+					kind = "calls " + obj.Name() + " on an ordered sink"
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if tv, ok := pass.Info.Types[idx.X]; ok {
+					if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+						kind = "stores into slice elements"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return kind
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NodetermAnalyzer forbids wall-clock reads and unseeded randomness in the
+// deterministic packages. The CDC record's bytes are replayed bit-for-bit
+// (PAPER.md §4: the reference order reconstructed at replay must equal the
+// recorded one), so nothing on the encode/decode path may depend on
+// time.Now, time.Since/Until, or math/rand's global state — any such
+// dependence would make record and replay disagree silently.
+var NodetermAnalyzer = &Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid time.Now/time.Since/time.Until and math/rand in the " +
+		"deterministic encode/decode packages",
+	Scope: []string{
+		"internal/cdcformat",
+		"internal/lpe",
+		"internal/permdiff",
+		"internal/varint",
+		"internal/tables",
+		"internal/lamport",
+		"internal/core",
+	},
+	Run: runNodeterm,
+}
+
+// nodetermClockFuncs are the wall-clock entry points in package time.
+// time.Duration arithmetic and constants are fine — only sampling the
+// clock is a hazard.
+var nodetermClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runNodeterm(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if nodetermClockFuncs[obj.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s in deterministic package %s: record/replay bytes must not depend on the wall clock",
+						obj.Name(), pass.RelPath)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(sel.Pos(),
+					"%s.%s in deterministic package %s: encode/decode must not consume nondeterministic randomness",
+					obj.Pkg().Name(), obj.Name(), pass.RelPath)
+			}
+			return true
+		})
+	}
+}

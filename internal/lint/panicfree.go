@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicfreeAnalyzer forbids panic in library packages. A panic in the
+// recorder or replayer tears down the application being traced — the
+// opposite of the facade's contract that every failure surfaces as an
+// error (Recorder.Err, typed OptionError). Deliberate internal-invariant
+// assertions ("this cannot happen unless the encoder itself is broken")
+// are tagged //cdc:invariant, which both suppresses the finding and marks
+// the site for auditors. Package main binaries may panic freely.
+var PanicfreeAnalyzer = &Analyzer{
+	Name: "panicfree",
+	Doc: "forbid panic in library packages unless tagged //cdc:invariant " +
+		"(library failures must surface as errors)",
+	Run: runPanicfree,
+}
+
+func runPanicfree(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(),
+					"panic in library package %s: return an error, or tag an internal-invariant assertion with //cdc:invariant",
+					pass.RelPath)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders findings one per line in file:line:col form, followed
+// by a count. Writes nothing for an empty slice.
+func WriteText(w io.Writer, findings []Finding) error {
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	if len(findings) > 0 {
+		if _, err := fmt.Fprintf(w, "cdclint: %d finding(s)\n", len(findings)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonReport is the stable -json envelope: the finding list plus a count,
+// so `jq .count` works even when findings is empty.
+type jsonReport struct {
+	Count    int       `json:"count"`
+	Findings []Finding `json:"findings"`
+}
+
+// WriteJSON renders findings as a JSON object {count, findings}. The
+// findings array is always present (empty, not null) so consumers can
+// iterate unconditionally.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonReport{Count: len(findings), Findings: findings})
+}

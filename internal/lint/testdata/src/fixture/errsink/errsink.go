@@ -1,0 +1,50 @@
+// Package errsink exercises the errsink analyzer: implicitly discarded
+// errors from the write/flush/close family are findings.
+package errsink
+
+import "os"
+
+// FrameWriter mimics the storage-layer writer surface.
+type FrameWriter struct{}
+
+// WriteFrame pretends to write a frame.
+func (w *FrameWriter) WriteFrame(kind byte, payload []byte) error { return nil }
+
+// Flush pretends to flush.
+func (w *FrameWriter) Flush() error { return nil }
+
+// Close pretends to close.
+func (w *FrameWriter) Close() error { return nil }
+
+// Quiet closes without an error result.
+type Quiet struct{}
+
+// Close returns nothing, so discarding it is fine.
+func (q Quiet) Close() {}
+
+// Swallowed drops every error implicitly.
+func Swallowed(w *FrameWriter, f *os.File) {
+	w.Flush()               // want "Flush"
+	w.Close()               // want "Close"
+	go w.WriteFrame(0, nil) // want "WriteFrame"
+	defer f.Sync()          // want "deferred Sync"
+}
+
+// Checked propagates, and discards one error explicitly.
+func Checked(w *FrameWriter) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	_ = w.Close() // explicit discard is a considered decision: no finding
+	return nil
+}
+
+// NoError discards a result-less Close: no finding.
+func NoError(q Quiet) {
+	q.Close()
+}
+
+// Allowed documents an intentional discard.
+func Allowed(w *FrameWriter) {
+	w.Close() //cdc:allow(errsink) fixture: error intentionally dropped
+}

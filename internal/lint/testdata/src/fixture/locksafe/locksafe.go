@@ -1,0 +1,80 @@
+// Package locksafe exercises lock-copy and atomic-alignment detection.
+package locksafe
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded bundles a lock with its data.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Lock copies the receiver: the mutex state forks on every call.
+func (g Guarded) Lock() { // want "value receiver"
+	g.mu.Lock()
+}
+
+// LockP uses a pointer receiver: no finding.
+func (g *Guarded) LockP() { g.mu.Lock() }
+
+// Copy duplicates an existing lock-bearing value.
+func Copy(a *Guarded) int {
+	b := *a // want "copies a value containing"
+	return b.n
+}
+
+// Iterate copies each element into the range variable.
+func Iterate(gs []Guarded) int {
+	total := 0
+	for _, g := range gs { // want "range copies"
+		total += g.n
+	}
+	return total
+}
+
+// Fresh constructs a new value: composite literals are no finding.
+func Fresh() *Guarded {
+	g := Guarded{}
+	return &g
+}
+
+// Misaligned puts a uint64 after a uint32: 32-bit offset 4.
+type Misaligned struct {
+	flag uint32
+	n    uint64
+}
+
+// Bump hits the unaligned field.
+func Bump(m *Misaligned) uint64 {
+	return atomic.AddUint64(&m.n, 1) // want "not 8-aligned"
+}
+
+// AllowedBump documents a field kept where it is.
+func AllowedBump(m *Misaligned) uint64 {
+	return atomic.LoadUint64(&m.n) //cdc:allow(locksafe) fixture: layout frozen by on-disk compat
+}
+
+// Aligned leads with the 64-bit field: offset 0, no finding.
+type Aligned struct {
+	n    uint64
+	flag uint32
+}
+
+// BumpAligned is fine.
+func BumpAligned(a *Aligned) uint64 {
+	return atomic.AddUint64(&a.n, 1)
+}
+
+// Typed uses the always-aligned atomic types; method calls are exempt.
+type Typed struct {
+	flag uint32
+	n    atomic.Uint64
+}
+
+// BumpTyped is fine.
+func BumpTyped(t *Typed) uint64 {
+	return t.n.Add(1)
+}

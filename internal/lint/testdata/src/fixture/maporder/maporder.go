@@ -1,0 +1,65 @@
+// Package maporder exercises the maporder analyzer: map iteration feeding
+// an ordered sink is a finding; aggregation and sorted collection are not.
+package maporder
+
+import (
+	"sort"
+	"strings"
+)
+
+// LeakSlice appends in map order.
+func LeakSlice(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "appends to a slice"
+		out = append(out, k)
+	}
+	return out
+}
+
+// LeakWriter serializes in map order.
+func LeakWriter(m map[string]string) string {
+	var b strings.Builder
+	for _, v := range m { // want "ordered sink"
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// LeakStore stores into slice elements in map order.
+func LeakStore(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m { // want "slice elements"
+		out[i] = v
+		i++
+	}
+}
+
+// SortedAfter is the sanctioned pattern: collect, then sort.
+func SortedAfter(m map[int]int) []int {
+	var keys []int
+	for k := range m { //cdc:allow(maporder) fixture: keys are sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Aggregate folds into a scalar and another map: order-insensitive.
+func Aggregate(m map[int]int) int {
+	total := 0
+	inv := make(map[int]int, len(m))
+	for k, v := range m {
+		total += v
+		inv[v] = k
+	}
+	return total + len(inv)
+}
+
+// SliceRange writes from a slice range: not a map, no finding.
+func SliceRange(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

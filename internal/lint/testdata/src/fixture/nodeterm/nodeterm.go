@@ -1,0 +1,28 @@
+// Package nodeterm exercises the nodeterm analyzer: wall-clock reads and
+// math/rand uses are findings inside deterministic packages.
+package nodeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad samples the clock and global randomness.
+func Bad() (time.Time, int) {
+	now := time.Now() // want "time.Now"
+	n := rand.Intn(4) // want "rand.Intn"
+	return now, n
+}
+
+// Elapsed samples the clock through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+// Allowed documents an intentional wall-clock read.
+func Allowed() time.Time {
+	return time.Now() //cdc:allow(nodeterm) fixture: telemetry only, never serialized
+}
+
+// Fine does time arithmetic without sampling the clock.
+func Fine(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,60 @@
+// Package obs is a skeleton of the real instrument layer so the obsguard
+// fixtures typecheck without importing cdcreplay itself. The analyzer
+// matches instrument packages and the Registry type by name, so the guard
+// rules bind here exactly as they do in internal/obs.
+package obs
+
+// Counter is a nil-safe instrument.
+type Counter struct{ v uint64 }
+
+// Add is properly guarded: no finding.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc touches the receiver before checking nil.
+func (c *Counter) Inc() { // want "nil guard"
+	c.v++
+}
+
+// Value guards too late, after the dereference.
+func (c *Counter) Value() uint64 { // want "nil guard"
+	v := c.v
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// reset is unexported: the guard contract binds the public surface only.
+func (c *Counter) reset() { c.v = 0 }
+
+// Registry hands out named instruments.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[name]
+}
+
+// Gauge returns the named counter standing in for a gauge.
+func (r *Registry) Gauge(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[name]
+}
+
+// Histogram returns the named counter standing in for a histogram.
+func (r *Registry) Histogram(name string, bounds []uint64) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters[name]
+}

@@ -1,0 +1,44 @@
+// Package obsguard exercises duplicate instrument-name detection.
+package obsguard
+
+import "fixture/obs"
+
+// Instruments mimics a pipeline layer's instrument bundle.
+type Instruments struct {
+	rows  *obs.Counter
+	bytes *obs.Counter
+}
+
+// Bad registers the same name twice: both fields alias one instrument.
+func Bad(r *obs.Registry) Instruments {
+	return Instruments{
+		rows:  r.Counter("record.rows"),
+		bytes: r.Counter("record.rows"), // want "duplicate registration"
+	}
+}
+
+// Good registers distinct names: no finding.
+func Good(r *obs.Registry) Instruments {
+	return Instruments{
+		rows:  r.Counter("record.rows"),
+		bytes: r.Counter("record.bytes"),
+	}
+}
+
+// Kinds may reuse a name across instrument kinds (separate namespaces).
+func Kinds(r *obs.Registry) (*obs.Counter, *obs.Counter) {
+	return r.Counter("record.flush"), r.Gauge("record.flush")
+}
+
+// Separate registers the same name as Bad but in its own function; shared
+// registries summing across ranks are by design, so no finding.
+func Separate(r *obs.Registry) *obs.Counter {
+	return r.Counter("record.rows")
+}
+
+// Allowed suppresses a deliberate alias.
+func Allowed(r *obs.Registry) (*obs.Counter, *obs.Counter) {
+	a := r.Counter("shared.rows")
+	b := r.Counter("shared.rows") //cdc:allow(obsguard) fixture: deliberate alias
+	return a, b
+}

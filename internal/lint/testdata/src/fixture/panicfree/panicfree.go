@@ -1,0 +1,29 @@
+// Package panicfree exercises the panic ban for library packages.
+package panicfree
+
+import "errors"
+
+// Bad panics on a runtime condition.
+func Bad(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library package"
+	}
+	return n
+}
+
+// Tagged asserts an internal invariant: no finding.
+func Tagged(n int) int {
+	if n < 0 {
+		//cdc:invariant fixture: encoder guarantees non-negative counts
+		panic("impossible")
+	}
+	return n
+}
+
+// Good returns an error: no finding.
+func Good(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}

@@ -85,11 +85,11 @@ func writeManifest(dir string, m Manifest) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op once renamed
 	if _, err := tmp.Write(append(buf, '\n')); err != nil {
-		tmp.Close()
+		tmp.Close() //cdc:allow(errsink) best-effort cleanup; the write error is already propagating
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //cdc:allow(errsink) best-effort cleanup; the sync error is already propagating
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -107,8 +107,13 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
-	return d.Sync()
+	if err := d.Sync(); err != nil {
+		d.Close() //cdc:allow(errsink) best-effort cleanup; the sync error is already propagating
+		return err
+	}
+	// The close error is propagated too: on some filesystems close is when
+	// deferred write errors surface, and durability claims must see them.
+	return d.Close()
 }
 
 // Create prepares dir (creating it if needed) and writes the manifest with
@@ -198,6 +203,6 @@ func LoadRank(dir string, rank int) (*core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //cdc:allow(errsink) read-side close; decode errors surface from ReadRecord
 	return core.ReadRecord(f)
 }

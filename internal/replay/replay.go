@@ -722,7 +722,9 @@ func (rp *Replayer) Allgather(v float64) ([]float64, error) {
 // pool, reporting how many arrived.
 func (rp *Replayer) pollBelow() (int, error) {
 	set := make([]*simmpi.Request, 0, len(rp.outstanding))
-	for r := range rp.outstanding {
+	// Harvest order only populates the pool; releases are matched by the
+	// recorded (sender, clock) keys, so pool order never reaches the app.
+	for r := range rp.outstanding { //cdc:allow(maporder) pool is keyed by (sender, clock); release order comes from the record
 		set = append(set, r)
 	}
 	idxs, sts, err := rp.next.Testsome(set)
@@ -1401,7 +1403,14 @@ func (rp *Replayer) Verify() error {
 		return nil
 	}
 	var problems []error
-	for _, s := range rp.streams {
+	// Iterate streams in sorted-name order so Verify's error text is
+	// stable run to run (map order would shuffle the problem list).
+	streams := make([]*stream, 0, len(rp.streams))
+	for _, s := range rp.streams { //cdc:allow(maporder) sorted by name immediately below
+		streams = append(streams, s)
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].name < streams[j].name })
+	for _, s := range streams {
 		remaining := 0
 		for ci := s.ci; ci < len(s.chunks); ci++ {
 			remaining += int(s.chunks[ci].NumMatched)

@@ -207,6 +207,7 @@ type World struct {
 // NewWorld creates a world of n ranks.
 func NewWorld(n int, opts Options) *World {
 	if n <= 0 {
+		//cdc:invariant constructor precondition: a zero-rank world is caller misuse, not a runtime condition
 		panic("simmpi: world size must be positive")
 	}
 	opts.fill()
@@ -232,6 +233,7 @@ func (w *World) Size() int { return w.n }
 // Comm exists for tests that drive ranks manually.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.n {
+		//cdc:invariant accessor precondition: an out-of-range rank is caller misuse, not a runtime condition
 		panic(fmt.Sprintf("simmpi: rank %d out of range", rank))
 	}
 	return &Comm{world: w, rank: rank, deadline: w.opts.WaitTimeout}

@@ -67,6 +67,7 @@ type Histogram struct {
 // NewHistogram creates a histogram with bins equal-width bins over [lo, hi).
 func NewHistogram(lo, hi float64, bins int) *Histogram {
 	if bins <= 0 || hi <= lo {
+		//cdc:invariant constructor precondition: harness code builds histograms from constants
 		panic("stats: invalid histogram shape")
 	}
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}

@@ -1,0 +1,110 @@
+package varint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzUintRoundtrip checks the decode-side total-function contract on
+// arbitrary bytes (no panic, sane consumed counts) and the re-encode
+// identity on every value that decodes: varints have exactly one canonical
+// minimal encoding, so decode→encode must reproduce the consumed prefix.
+// This is the dynamic twin of the cdclint static pass over the varint
+// package: the decoder is on the replay path and must be deterministic and
+// total.
+func FuzzUintRoundtrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x80})
+	f.Add(AppendUint(nil, 0))
+	f.Add(AppendUint(nil, 127))
+	f.Add(AppendUint(nil, 128))
+	f.Add(AppendUint(nil, math.MaxUint64))
+	f.Add(bytes.Repeat([]byte{0xff}, 11))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, n, err := Uint(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("Uint error %v consumed %d bytes, want 0", err, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) || n > 10 {
+			t.Fatalf("Uint consumed %d of %d bytes", n, len(data))
+		}
+		if enc := AppendUint(nil, u); !canonicalPrefix(data[:n], enc) {
+			t.Fatalf("decode(% x) = %d, re-encodes as % x", data[:n], u, enc)
+		}
+
+		v, ni, err := Int(data)
+		if err != nil {
+			t.Fatalf("Int failed where Uint succeeded: %v", err)
+		}
+		if ni != n {
+			t.Fatalf("Int consumed %d bytes, Uint %d", ni, n)
+		}
+		if got := Zigzag(v); got != u {
+			t.Fatalf("Int/Uint disagree: zigzag(%d) = %d, want %d", v, got, u)
+		}
+	})
+}
+
+// canonicalPrefix reports whether consumed re-encodes to enc, tolerating
+// the one legal non-canonical case: trailing 0x80-continuation bytes that
+// contribute zero bits (e.g. 0x80 0x00 decodes as 0 but re-encodes as
+// 0x00).
+func canonicalPrefix(consumed, enc []byte) bool {
+	if bytes.Equal(consumed, enc) {
+		return true
+	}
+	u1, _, err1 := Uint(consumed)
+	u2, _, err2 := Uint(enc)
+	return err1 == nil && err2 == nil && u1 == u2
+}
+
+// FuzzReader drains a Reader over arbitrary bytes: every decode either
+// advances the offset or fails, the offset never runs past the buffer, and
+// a Bytes() slice always lies within it.
+func FuzzReader(f *testing.F) {
+	w := &Writer{}
+	w.Uint(7)
+	w.Int(-40)
+	w.Bytes([]byte("payload"))
+	f.Add(w.Result())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for step := 0; ; step++ {
+			before := r.Offset()
+			var err error
+			switch step % 3 {
+			case 0:
+				_, err = r.Uint()
+			case 1:
+				_, err = r.Int()
+			default:
+				var b []byte
+				b, err = r.Bytes()
+				if err == nil && len(b) > len(data) {
+					t.Fatalf("Bytes returned %d bytes from a %d-byte buffer", len(b), len(data))
+				}
+			}
+			if err != nil {
+				break
+			}
+			if r.Offset() <= before {
+				t.Fatalf("decode step %d did not advance: offset %d -> %d", step, before, r.Offset())
+			}
+			if r.Offset() > len(data) {
+				t.Fatalf("offset %d ran past buffer length %d", r.Offset(), len(data))
+			}
+			if r.Len() != len(data)-r.Offset() {
+				t.Fatalf("Len() = %d, want %d", r.Len(), len(data)-r.Offset())
+			}
+		}
+	})
+}
