@@ -1,0 +1,31 @@
+package dst
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteFuzzCorpus writes each input as a Go fuzz seed-corpus file (the
+// `go test fuzz v1` format for a single []byte argument) into dir, named by
+// content hash so regeneration is idempotent and diff-friendly. Returns the
+// number of files written.
+func WriteFuzzCorpus(dir string, inputs [][]byte) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, in := range inputs {
+		h := fnv.New64a()
+		h.Write(in)
+		name := filepath.Join(dir, fmt.Sprintf("dst-%016x", h.Sum64()))
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(in)) + ")\n"
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

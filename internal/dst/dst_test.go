@@ -1,0 +1,294 @@
+package dst
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cdcreplay/internal/simmpi"
+)
+
+// seedsFor scales a sweep down under -short (the long sweeps run in CI's
+// dst-smoke job and in full local test runs).
+func seedsFor(t *testing.T, full, short int) int {
+	t.Helper()
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+func mustExplore(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	cfg.Logf = t.Logf
+	rep, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("Explore(%+v): %v", cfg, err)
+	}
+	return rep
+}
+
+func requireClean(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.TotalFailures != 0 {
+		for _, f := range rep.Failures {
+			t.Errorf("failing schedule [%s]: %s (shrunk to %d decisions: %v)",
+				f.Trace, f.Err, len(f.Shrunk), f.Shrunk)
+		}
+		t.Fatalf("%d schedule(s) violated a property", rep.TotalFailures)
+	}
+	if rep.Schedules == 0 || rep.Decisions == 0 {
+		t.Fatalf("empty exploration: %d schedules, %d decisions", rep.Schedules, rep.Decisions)
+	}
+}
+
+// TestExploreDeterminismPin is the determinism pin from the issue: the same
+// (policy, seed) configuration must yield byte-identical decision traces and
+// identical verdicts across two in-process runs — asserted over both a clean
+// workload and one where schedules fail (so failure capture and shrinking
+// are pinned too).
+func TestExploreDeterminismPin(t *testing.T) {
+	for _, cfg := range []Config{
+		{Policy: "random", Workload: "pairs", Seeds: 3, Seed: 100, Short: true},
+		{Policy: "random", Workload: "buggy", Seeds: 8, Seed: 7, Short: true, Props: []string{"p1"}},
+		{Policy: "reorder", Workload: "exchange", Seeds: 2, Seed: 5, Depth: 3, Short: true, Props: []string{"p1", "p3"}},
+	} {
+		a := mustExplore(t, cfg)
+		b := mustExplore(t, cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("determinism pin violated for %+v:\nrun 1: %+v\nrun 2: %+v", cfg, a, b)
+		}
+		if a.Digest == 0 {
+			t.Fatalf("degenerate digest for %+v", cfg)
+		}
+	}
+}
+
+func TestRandomSchedulesPairs(t *testing.T) {
+	rep := mustExplore(t, Config{
+		Policy: "random", Workload: "pairs",
+		Seeds: seedsFor(t, 6, 3), Seed: 1, Short: true,
+	})
+	requireClean(t, rep)
+	// All four properties enabled: each seed runs the order and the crash
+	// experiment.
+	if want := 2 * seedsFor(t, 6, 3); rep.Schedules != want {
+		t.Fatalf("ran %d schedules, want %d", rep.Schedules, want)
+	}
+}
+
+func TestRandomSchedulesExchange(t *testing.T) {
+	requireClean(t, mustExplore(t, Config{
+		Policy: "random", Workload: "exchange",
+		Seeds: seedsFor(t, 4, 2), Seed: 11, Short: true,
+	}))
+}
+
+func TestRandomSchedulesMCB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long DST sweep: skipped with -short")
+	}
+	requireClean(t, mustExplore(t, Config{
+		Policy: "random", Workload: "mcb",
+		Seeds: 2, Seed: 21, Short: true,
+	}))
+}
+
+func TestPCTSchedules(t *testing.T) {
+	requireClean(t, mustExplore(t, Config{
+		Policy: "pct", Workload: "pairs",
+		Seeds: seedsFor(t, 4, 2), Seed: 31, Depth: 3, Short: true,
+	}))
+}
+
+func TestReorderSchedules(t *testing.T) {
+	requireClean(t, mustExplore(t, Config{
+		Policy: "reorder", Workload: "pairs",
+		Seeds: seedsFor(t, 4, 2), Seed: 41, Depth: 3, Short: true,
+	}))
+}
+
+// TestExhaustiveSweep enumerates every schedule prefix up to the depth and
+// requires the sweep to actually complete (not hit the MaxSchedules cap).
+func TestExhaustiveSweep(t *testing.T) {
+	depth := 3
+	if testing.Short() {
+		depth = 2
+	}
+	var logs []string
+	cfg := Config{
+		Policy: "exhaustive", Workload: "pairs", Seed: 1,
+		Depth: depth, Short: true, MaxSchedules: 400,
+		Logf: func(format string, args ...any) {
+			line := format
+			logs = append(logs, line)
+			t.Logf(format, args...)
+		},
+	}
+	rep, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	requireClean(t, rep)
+	complete := false
+	for _, l := range logs {
+		if strings.Contains(l, "sweep complete") {
+			complete = true
+		}
+		if strings.Contains(l, "TRUNCATED") {
+			t.Fatalf("exhaustive sweep hit the schedule cap")
+		}
+	}
+	if !complete {
+		t.Fatalf("exhaustive sweep did not report completion")
+	}
+}
+
+// TestBuggyWorkloadCaughtAndShrunk asserts the harness finds the injected
+// ordering bug, shrinks its schedule to a tiny reproducer, and that both the
+// original and the shrunk trace still reproduce the failure through the
+// public replay entry points (including a marshal round trip — the same path
+// the CLI's -repro flag uses).
+func TestBuggyWorkloadCaughtAndShrunk(t *testing.T) {
+	rep := mustExplore(t, Config{
+		Policy: "random", Workload: "buggy",
+		Seeds: 12, Seed: 7, Short: true, Props: []string{"p1"},
+	})
+	if rep.TotalFailures == 0 {
+		t.Fatalf("injected ordering bug not caught over %d schedules", rep.Schedules)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatalf("failures counted (%d) but none captured", rep.TotalFailures)
+	}
+	f := rep.Failures[0]
+	if !strings.Contains(f.Err, "was assumed") {
+		t.Fatalf("unexpected failure kind: %s", f.Err)
+	}
+	if len(f.Shrunk) > 10 {
+		t.Fatalf("shrunk reproducer has %d decisions, want <= 10 (from %d)", len(f.Shrunk), len(f.Trace.Decisions))
+	}
+	if err := Repro(f.Trace); err == nil {
+		t.Fatalf("original trace no longer reproduces the failure")
+	}
+	round, err := UnmarshalTrace(f.Trace.Marshal())
+	if err != nil {
+		t.Fatalf("trace round trip: %v", err)
+	}
+	if !reflect.DeepEqual(round, f.Trace) {
+		t.Fatalf("trace round trip diverged:\n%+v\n%+v", round, f.Trace)
+	}
+	round.Decisions = f.Shrunk
+	if err := Repro(round); err == nil {
+		t.Fatalf("shrunk trace no longer reproduces the failure")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Policy: "reorder", Seed: -12345, Depth: 5, Ranks: 4,
+		Workload: "mcb", Check: "crash", Short: true,
+		Decisions: []int{0, 2, 1, 0, 3},
+	}
+	got, err := UnmarshalTrace(tr.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", got, tr)
+	}
+	if _, err := UnmarshalTrace([]byte("junk")); err == nil {
+		t.Fatalf("junk input decoded")
+	}
+	if _, err := UnmarshalTrace(tr.Marshal()[:8]); err == nil {
+		t.Fatalf("truncated input decoded")
+	}
+}
+
+// TestShrinkConvergesToCore checks both phases of the shrinker: the prefix
+// probe cannot isolate a mid-list decision, so ddmin must.
+func TestShrinkConvergesToCore(t *testing.T) {
+	decisions := make([]int, 20)
+	for i := range decisions {
+		decisions[i] = i
+	}
+	contains13 := func(cand []int) bool {
+		for _, d := range cand {
+			if d == 13 {
+				return true
+			}
+		}
+		return false
+	}
+	got := Shrink(decisions, contains13, 500)
+	if !reflect.DeepEqual(got, []int{13}) {
+		t.Fatalf("Shrink = %v, want [13]", got)
+	}
+	// A predicate the input does not satisfy must return the input.
+	if got := Shrink([]int{1, 2}, func([]int) bool { return false }, 100); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Shrink on non-failing input = %v", got)
+	}
+}
+
+// TestDeadlockDetected: a schedule where every rank blocks with no message
+// in flight must be latched as a deadlock by the sequencer, unwinding every
+// rank with the failure instead of hanging the test binary.
+func TestDeadlockDetected(t *testing.T) {
+	seq := newSequencer(2, lrgPolicy{})
+	w := simmpi.NewWorld(2, simmpi.Options{Sequencer: seq})
+	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		req, err := mpi.Irecv(simmpi.AnySource, 1)
+		if err != nil {
+			return err
+		}
+		_, err = mpi.Wait(req)
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("RunRanked = %v, want deadlock failure", err)
+	}
+	if _, _, failure := seq.results(); failure == nil {
+		t.Fatalf("sequencer did not latch the failure")
+	}
+}
+
+// TestLivelockRotation: a policy that insists on granting one spinning rank
+// must be overridden by the forced fairness rotation so the world still
+// completes.
+func TestLivelockRotation(t *testing.T) {
+	// Policy: always pick the highest-numbered runnable rank. Rank 1 polls
+	// (Test, runnable) while only rank 0 can send; without rotation rank 0
+	// would starve forever.
+	greedy := policyFunc(func(step int, runnable []int, lastGrant []uint64) int {
+		return len(runnable) - 1
+	})
+	seq := newSequencer(2, greedy)
+	w := simmpi.NewWorld(2, simmpi.Options{Sequencer: seq})
+	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		if rank == 0 {
+			return mpi.Send(1, 1, []byte{1})
+		}
+		req, err := mpi.Irecv(0, 1)
+		if err != nil {
+			return err
+		}
+		for {
+			ok, _, err := mpi.Test(req)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return nil
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("RunRanked: %v", err)
+	}
+}
+
+// policyFunc adapts a function to the Policy interface (test helper).
+type policyFunc func(step int, runnable []int, lastGrant []uint64) int
+
+func (f policyFunc) Choose(step int, runnable []int, lastGrant []uint64) int {
+	return f(step, runnable, lastGrant)
+}

@@ -1,0 +1,54 @@
+package dst
+
+import (
+	"bytes"
+
+	"cdcreplay/internal/baseline"
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/lamport"
+	"cdcreplay/internal/record"
+	"cdcreplay/internal/simmpi"
+)
+
+// DeterministicRecord runs one record phase of the named workload under the
+// fully deterministic round-robin schedule (no jitter, no policy RNG) and
+// returns each rank's encoded record stream. Within one source tree the
+// bytes are stable across process runs — the property golden-fixture
+// regeneration needs (internal/core golden tests). Callsite IDs hash
+// file:line, so editing workload source legitimately changes the bytes;
+// committed fixtures keep decoding regardless.
+func DeterministicRecord(workloadName string, seed int64, short bool, opts core.EncoderOptions) ([][]byte, error) {
+	wl, err := workloadFor(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	app := wl.app(short, seed)
+	seq := newSequencer(wl.ranks, lrgPolicy{})
+	w := simmpi.NewWorld(wl.ranks, simmpi.Options{Sequencer: seq, Delivery: deliveryFor("", 0, 0)})
+	bufs := make([]*bytes.Buffer, wl.ranks)
+	err = w.RunRanked(func(rank int, mpi simmpi.MPI) error {
+		bufs[rank] = &bytes.Buffer{}
+		enc, err := core.NewEncoder(bufs[rank], opts)
+		if err != nil {
+			return err
+		}
+		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), recOpts())
+		aerr := app(rec)
+		cerr := rec.Close()
+		if aerr != nil {
+			return aerr
+		}
+		return cerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, fail := seq.results(); fail != nil {
+		return nil, fail
+	}
+	out := make([][]byte, wl.ranks)
+	for i, b := range bufs {
+		out[i] = b.Bytes()
+	}
+	return out, nil
+}

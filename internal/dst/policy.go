@@ -1,0 +1,189 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Policy picks which runnable rank gets the next grant. Implementations are
+// single-run and single-goroutine: the sequencer calls Choose under its
+// mutex, once per decision.
+type Policy interface {
+	// Choose returns an index into runnable (rank numbers, ascending).
+	// lastGrant[r] is the 1-based decision number at which rank r was last
+	// granted (0 = never). An out-of-range return falls back to the
+	// least-recently-granted rank.
+	Choose(step int, runnable []int, lastGrant []uint64) int
+}
+
+// PolicyNames lists the exploration policies, in CLI display order.
+func PolicyNames() []string {
+	return []string{"random", "pct", "reorder", "exhaustive"}
+}
+
+// policyFor builds a fresh policy instance for one schedule.
+func policyFor(name string, seed int64, ranks, depth int) (Policy, error) {
+	switch name {
+	case "random":
+		return &randomPolicy{rng: rand.New(rand.NewSource(seed))}, nil
+	case "pct":
+		return newPCTPolicy(ranks, seed, depth), nil
+	case "reorder":
+		// The adversary lives in the delivery hook (bounded per-message
+		// delays, deliveryFor); scheduling itself is fair round-robin so
+		// delayed messages are the only reordering source.
+		return lrgPolicy{}, nil
+	case "exhaustive":
+		return &prefixPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("dst: unknown policy %q (have %v)", name, PolicyNames())
+	}
+}
+
+// deliveryFor returns the mailbox delivery hook for a policy. Every policy
+// pins delivery to a pure function of the message coordinates — never an RNG
+// stream consumed in deposit order — so a shrunk or perturbed playback of the
+// same trace still sees the same per-message delays.
+func deliveryFor(policy string, seed int64, depth int) func(dst, src, tag int, seq uint64) uint64 {
+	if policy != "reorder" || depth <= 0 {
+		// All nondeterminism comes from scheduling decisions: deliver at
+		// the receiver's next poll.
+		return func(dst, src, tag int, seq uint64) uint64 { return 0 }
+	}
+	bound := uint64(depth) + 1
+	return func(dst, src, tag int, seq uint64) uint64 {
+		h := mix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+		h = mix64(h ^ uint64(dst)<<32 ^ uint64(uint32(src)))
+		h = mix64(h ^ uint64(uint32(tag))<<32 ^ seq)
+		return h % bound
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// randomPolicy grants a uniformly random runnable rank each step.
+type randomPolicy struct{ rng *rand.Rand }
+
+func (p *randomPolicy) Choose(step int, runnable []int, lastGrant []uint64) int {
+	return p.rng.Intn(len(runnable))
+}
+
+// lrgPolicy is deterministic fair round-robin: always the least-recently-
+// granted runnable rank. It is the playback fallback, the beyond-prefix
+// continuation of the exhaustive policy, and the scheduling half of the
+// reorder adversary.
+type lrgPolicy struct{}
+
+func (lrgPolicy) Choose(step int, runnable []int, lastGrant []uint64) int {
+	return lrgIndex(runnable, lastGrant)
+}
+
+// pctHorizon is the step range over which PCT change points are drawn;
+// large enough to cover the short workloads the harness runs.
+const pctHorizon = 4096
+
+// pctPolicy is a PCT-style priority scheduler (Burckhardt et al.'s
+// probabilistic concurrency testing, adapted to rank granularity): each rank
+// gets a random distinct priority, the highest-priority runnable rank always
+// runs, and at d-1 random change points the running rank's priority is
+// demoted below every initial priority. With few change points it drives
+// long uninterrupted runs of one rank — exactly the starved/lopsided
+// schedules a uniformly random walk almost never produces.
+type pctPolicy struct {
+	prio    []uint64
+	change  map[int]bool
+	demoted uint64
+}
+
+func newPCTPolicy(ranks int, seed int64, depth int) *pctPolicy {
+	rng := rand.New(rand.NewSource(seed))
+	p := &pctPolicy{
+		prio:   make([]uint64, ranks),
+		change: make(map[int]bool),
+	}
+	for i, pr := range rng.Perm(ranks) {
+		// Initial priorities sit above the demotion range [1, #changes].
+		p.prio[i] = uint64(pr) + pctHorizon
+	}
+	if depth < 1 {
+		depth = 3
+	}
+	for i := 0; i < depth-1; i++ {
+		p.change[rng.Intn(pctHorizon)] = true
+	}
+	return p
+}
+
+func (p *pctPolicy) Choose(step int, runnable []int, lastGrant []uint64) int {
+	best := 0
+	for i, r := range runnable {
+		if p.prio[r] > p.prio[runnable[best]] {
+			best = i
+		}
+	}
+	if p.change[step] {
+		p.demoted++
+		p.prio[runnable[best]] = p.demoted
+	}
+	return best
+}
+
+// prefixPolicy drives the exhaustive-up-to-depth sweep: the first
+// len(prefix) decisions are dictated verbatim, everything after continues
+// deterministically round-robin. The Explore loop advances prefix like a
+// mixed-radix odometer using the runnable-set sizes recorded by the
+// previous run, which enumerates every decision sequence of the given
+// depth (depth-first).
+type prefixPolicy struct{ prefix []int }
+
+func (p *prefixPolicy) Choose(step int, runnable []int, lastGrant []uint64) int {
+	if step < len(p.prefix) {
+		if i := p.prefix[step]; i < len(runnable) {
+			return i
+		}
+	}
+	return lrgIndex(runnable, lastGrant)
+}
+
+// nextPrefix advances the exhaustive odometer given the decision values and
+// runnable counts observed on the previous run. It returns nil when the
+// sweep is complete. prevDecisions (not the planned prefix) is used as the
+// base so forced rotations are carried faithfully.
+func nextPrefix(prevDecisions, prevCounts []int, depth int) []int {
+	n := depth
+	if len(prevDecisions) < n {
+		n = len(prevDecisions)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if prevDecisions[i]+1 < prevCounts[i] {
+			next := append([]int(nil), prevDecisions[:i]...)
+			return append(next, prevDecisions[i]+1)
+		}
+	}
+	return nil
+}
+
+// playbackPolicy replays a recorded decision list. Decisions past the end
+// of the list — or out of range for the current runnable set, which happens
+// when the list was shrunk — fall back to round-robin.
+type playbackPolicy struct{ decisions []int }
+
+func (p *playbackPolicy) Choose(step int, runnable []int, lastGrant []uint64) int {
+	if step < len(p.decisions) {
+		if i := p.decisions[step]; i >= 0 && i < len(runnable) {
+			return i
+		}
+	}
+	return lrgIndex(runnable, lastGrant)
+}
+
+// newRng builds the seeded RNG all derived schedules use.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,225 @@
+// The sequencer takes simmpi's rank interleaving away from the goroutine
+// scheduler and the jitter noise model and hands it to a pluggable
+// scheduling Policy, so every run is a pure function of (policy, seed,
+// decision list). It follows the systematic re-execution approach of the
+// execution replay literature (PAPERS.md: "Execution replay and debugging",
+// arXiv:cs/0011006).
+
+package dst
+
+import (
+	"fmt"
+	"sync"
+)
+
+// rankState tracks where a rank is in the sequencer's lock-step cycle.
+type rankState uint8
+
+const (
+	// stRunning: the rank holds the grant (or has not yielded yet at
+	// startup) and is executing application code.
+	stRunning rankState = iota
+	// stParked: the rank yielded and is runnable — eligible for the next
+	// grant.
+	stParked
+	// stBlocked: the rank yielded in a blocking wait with nothing to poll;
+	// it becomes runnable again only via Wake/WakeAll.
+	stBlocked
+	// stDone: the rank's function returned.
+	stDone
+)
+
+const (
+	// rotateEvery forces a least-recently-granted rotation after this many
+	// consecutive decisions without progress (no deposit, wake, or rank
+	// completion), so a policy that keeps granting one polling rank cannot
+	// starve the rank it is polling for.
+	rotateEvery = 64
+	// livelockCap fails the schedule outright after this many consecutive
+	// no-progress decisions: by then every runnable rank has been rotated
+	// through thousands of times with no message movement.
+	livelockCap = 100_000
+)
+
+// sequencer implements simmpi.Sequencer as a lock-step token controller:
+// between consecutive grants exactly one rank runs, and each grant covers
+// the code from one MPI-call yield point to the next. All scheduling
+// decisions are made under mu by whichever rank parks last (running drops
+// to zero), which keeps the decision sequence a pure function of the
+// policy and the ranks' own MPI behaviour — the host goroutine scheduler
+// only decides who executes the decision code, never what it decides.
+type sequencer struct {
+	mu     sync.Mutex
+	policy Policy
+
+	state   []rankState
+	grant   []chan error // buffered(1): a decision may self-grant
+	running int
+
+	decisions []int
+	counts    []int
+	lastGrant []uint64
+
+	progress     uint64
+	lastProgress uint64
+	noProgress   int
+
+	failure error
+}
+
+func newSequencer(n int, p Policy) *sequencer {
+	s := &sequencer{
+		policy:    p,
+		state:     make([]rankState, n), // zero value stRunning: ranks start live
+		grant:     make([]chan error, n),
+		lastGrant: make([]uint64, n),
+		running:   n,
+	}
+	for i := range s.grant {
+		s.grant[i] = make(chan error, 1)
+	}
+	return s
+}
+
+// Yield implements simmpi.Sequencer.
+func (s *sequencer) Yield(rank int, blocked bool) error {
+	s.mu.Lock()
+	if s.failure != nil {
+		s.mu.Unlock()
+		return s.failure
+	}
+	if blocked {
+		s.state[rank] = stBlocked
+	} else {
+		s.state[rank] = stParked
+	}
+	s.running--
+	if s.running == 0 {
+		s.decide()
+	}
+	s.mu.Unlock()
+	return <-s.grant[rank]
+}
+
+// Wake implements simmpi.Sequencer. It is called by the running rank (a
+// message deposit), so no decision is due here — the depositor still holds
+// the grant.
+func (s *sequencer) Wake(rank int) {
+	s.mu.Lock()
+	s.progress++
+	if s.state[rank] == stBlocked {
+		s.state[rank] = stParked
+	}
+	s.mu.Unlock()
+}
+
+// WakeAll implements simmpi.Sequencer (collective completion, world abort).
+func (s *sequencer) WakeAll() {
+	s.mu.Lock()
+	s.progress++
+	for r, st := range s.state {
+		if st == stBlocked {
+			s.state[r] = stParked
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Done implements simmpi.Sequencer: the rank's function returned (or
+// unwound after a failure grant).
+func (s *sequencer) Done(rank int) {
+	s.mu.Lock()
+	wasRunning := s.state[rank] == stRunning
+	s.state[rank] = stDone
+	if wasRunning {
+		s.running--
+	}
+	s.progress++
+	if s.running == 0 && s.failure == nil {
+		s.decide()
+	}
+	s.mu.Unlock()
+}
+
+// decide picks the next rank to grant. Called with mu held, running == 0,
+// failure nil.
+func (s *sequencer) decide() {
+	var runnable []int
+	blocked := 0
+	for r, st := range s.state {
+		switch st {
+		case stParked:
+			runnable = append(runnable, r)
+		case stBlocked:
+			blocked++
+		}
+	}
+	if len(runnable) == 0 {
+		if blocked == 0 {
+			return // every rank is done: the world finished
+		}
+		s.fail(fmt.Errorf("dst: schedule deadlock after %d decisions: %d rank(s) blocked, none runnable",
+			len(s.decisions), blocked))
+		return
+	}
+	if s.progress == s.lastProgress {
+		s.noProgress++
+	} else {
+		s.lastProgress = s.progress
+		s.noProgress = 0
+	}
+	if s.noProgress >= livelockCap {
+		s.fail(fmt.Errorf("dst: schedule livelock: %d consecutive decisions without progress", s.noProgress))
+		return
+	}
+	var idx int
+	if s.noProgress > 0 && s.noProgress%rotateEvery == 0 {
+		// Forced fairness rotation; recorded below like any other decision,
+		// so playback reproduces it for free.
+		idx = lrgIndex(runnable, s.lastGrant)
+	} else {
+		idx = s.policy.Choose(len(s.decisions), runnable, s.lastGrant)
+		if idx < 0 || idx >= len(runnable) {
+			idx = lrgIndex(runnable, s.lastGrant)
+		}
+	}
+	s.decisions = append(s.decisions, idx)
+	s.counts = append(s.counts, len(runnable))
+	r := runnable[idx]
+	s.lastGrant[r] = uint64(len(s.decisions))
+	s.state[r] = stRunning
+	s.running = 1
+	s.grant[r] <- nil
+}
+
+// fail latches the schedule failure and releases every waiting rank with it
+// so their MPI calls unwind. Called with mu held.
+func (s *sequencer) fail(err error) {
+	s.failure = err
+	for r, st := range s.state {
+		if st == stParked || st == stBlocked {
+			s.grant[r] <- err
+		}
+	}
+}
+
+// results returns the recorded decision trace: the index chosen at each
+// step, the runnable-set size at each step, and the schedule failure (nil
+// for a clean run). Call only after RunRanked returned.
+func (s *sequencer) results() (decisions, counts []int, failure error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int(nil), s.decisions...), append([]int(nil), s.counts...), s.failure
+}
+
+// lrgIndex returns the index (into runnable) of the least-recently-granted
+// rank, ties broken by lowest rank. runnable is in ascending rank order.
+func lrgIndex(runnable []int, lastGrant []uint64) int {
+	best := 0
+	for i, r := range runnable {
+		if lastGrant[r] < lastGrant[runnable[best]] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+package dst
+
+// Shrink minimizes a failing decision list: fails(decisions) must be true
+// for the input and is assumed deterministic (the playback policy makes it
+// so). The result is a decision list that still fails, found by a prefix
+// binary probe (schedules are prefix-sensitive: everything after the
+// critical deposit is usually irrelevant) followed by ddmin-style chunk
+// removal (Zeller & Hildebrandt), which deletes decisions from the middle —
+// the part a prefix cut cannot reach. budget bounds the number of fails()
+// invocations; the best list found within budget is returned.
+//
+// Removing a decision shifts the meaning of every later one (each is an
+// index into that step's runnable set), so a reduced list is not a
+// subschedule of the original — it is a fresh schedule that the predicate
+// re-executes from scratch. That is exactly what makes ddmin sound here:
+// only lists that demonstrably still fail are kept.
+func Shrink(decisions []int, fails func([]int) bool, budget int) []int {
+	best := append([]int(nil), decisions...)
+	calls := 0
+	try := func(cand []int) bool {
+		if calls >= budget || len(cand) >= len(best) {
+			return false
+		}
+		calls++
+		if fails(cand) {
+			best = append([]int(nil), cand...)
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: halve the failing prefix while it still fails, then creep
+	// the boundary up linearly from the last failing half.
+	for len(best) > 0 && try(best[:len(best)/2]) {
+	}
+	for lo, hi := 0, len(best); lo < hi && calls < budget; {
+		mid := (lo + hi) / 2
+		if mid < len(best) && try(best[:mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	// Phase 2: ddmin chunk removal over the surviving list.
+	n := 2
+	for len(best) >= 2 && calls < budget {
+		chunk := (len(best) + n - 1) / n
+		if chunk == 0 {
+			break
+		}
+		reduced := false
+		for start := 0; start < len(best); start += chunk {
+			end := start + chunk
+			if end > len(best) {
+				end = len(best)
+			}
+			cand := make([]int, 0, len(best)-(end-start))
+			cand = append(cand, best[:start]...)
+			cand = append(cand, best[end:]...)
+			if try(cand) {
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			n = max(n-1, 2)
+			continue
+		}
+		if chunk == 1 {
+			break
+		}
+		n = min(n*2, len(best))
+	}
+	return best
+}

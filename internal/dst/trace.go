@@ -1,0 +1,148 @@
+package dst
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"cdcreplay/internal/varint"
+)
+
+// Trace is a compact, replayable capture of one explored schedule: the
+// configuration that derives everything deterministic (policy, seed, depth,
+// workload, world size, experiment kind) plus the decision list the
+// sequencer actually took. Feeding the decisions back through the playback
+// policy re-executes the same schedule; a shrunk decision list re-executes
+// a closely related (and still failing) one.
+type Trace struct {
+	// Policy named the exploration policy that produced the schedule; it
+	// also derives the delivery-delay hook, so a reorder trace replays with
+	// the same per-message delays.
+	Policy string
+	// Seed is the schedule seed (policy RNG and delivery hash).
+	Seed int64
+	// Depth is the policy depth knob (reorder delay bound, PCT change
+	// points, exhaustive decision depth).
+	Depth int
+	// Ranks is the world size.
+	Ranks int
+	// Workload names the application (see WorkloadNames).
+	Workload string
+	// Check is the experiment kind: "order" (record → replay → re-record →
+	// decode, properties P1–P3) or "crash" (crash-salvage-replay, P4).
+	Check string
+	// Short mirrors Config.Short: workload sizing.
+	Short bool
+	// Decisions is the recorded decision list: Decisions[i] is an index
+	// into the step-i runnable set (ranks ascending).
+	Decisions []int
+}
+
+// traceMagic versions the trace file format.
+const traceMagic = "CDCDST1"
+
+// maxTraceDecisions bounds decode allocation for corrupt inputs.
+const maxTraceDecisions = 1 << 26
+
+// Marshal serializes the trace.
+func (t *Trace) Marshal() []byte {
+	w := varint.Writer{}
+	w.Bytes([]byte(traceMagic))
+	w.Bytes([]byte(t.Policy))
+	w.Int(t.Seed)
+	w.Uint(uint64(t.Depth))
+	w.Uint(uint64(t.Ranks))
+	w.Bytes([]byte(t.Workload))
+	w.Bytes([]byte(t.Check))
+	short := uint64(0)
+	if t.Short {
+		short = 1
+	}
+	w.Uint(short)
+	w.Uint(uint64(len(t.Decisions)))
+	for _, d := range t.Decisions {
+		w.Uint(uint64(d))
+	}
+	return w.Result()
+}
+
+// UnmarshalTrace decodes a trace serialized by Marshal.
+func UnmarshalTrace(b []byte) (*Trace, error) {
+	r := varint.NewReader(b)
+	magic, err := r.Bytes()
+	if err != nil || string(magic) != traceMagic {
+		return nil, fmt.Errorf("dst: not a trace file (bad magic)")
+	}
+	t := &Trace{}
+	pol, err := r.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	t.Policy = string(pol)
+	if t.Seed, err = r.Int(); err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	depth, err := r.Uint()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	t.Depth = int(depth)
+	ranks, err := r.Uint()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	t.Ranks = int(ranks)
+	wl, err := r.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	t.Workload = string(wl)
+	check, err := r.Bytes()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	t.Check = string(check)
+	short, err := r.Uint()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	t.Short = short != 0
+	n, err := r.Uint()
+	if err != nil {
+		return nil, fmt.Errorf("dst: truncated trace: %w", err)
+	}
+	if n > maxTraceDecisions {
+		return nil, fmt.Errorf("dst: implausible decision count %d", n)
+	}
+	t.Decisions = make([]int, n)
+	for i := range t.Decisions {
+		d, err := r.Uint()
+		if err != nil {
+			return nil, fmt.Errorf("dst: truncated trace: %w", err)
+		}
+		t.Decisions[i] = int(d)
+	}
+	return t, nil
+}
+
+// WriteFile writes the trace to path (0644).
+func (t *Trace) WriteFile(path string) error {
+	return os.WriteFile(path, t.Marshal(), 0o644)
+}
+
+// ReadTraceFile reads a trace written by WriteFile.
+func ReadTraceFile(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalTrace(b)
+}
+
+// String is a one-line human summary.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s seed=%d depth=%d ranks=%d workload=%s check=%s short=%v decisions=%d",
+		t.Policy, t.Seed, t.Depth, t.Ranks, t.Workload, t.Check, t.Short, len(t.Decisions))
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package dst
+
+import (
+	"fmt"
+	"sort"
+
+	"cdcreplay/internal/mcb"
+	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/workload"
+)
+
+// appFunc runs one rank of a workload against an MPI stack (which in the
+// harness is the record or replay tool stack, not a raw Comm).
+type appFunc func(mpi simmpi.MPI) error
+
+// workloadSpec describes one schedulable application. Every workload must be
+// deterministic given its receive order (sends and control flow may depend
+// on what was received, but not on wall clock, global state, or unseeded
+// randomness) — the same contract the recorder itself assumes.
+type workloadSpec struct {
+	name  string
+	ranks int // default world size
+	// app builds the per-run rank function. seed parameterizes workload
+	// internals (e.g. exchange peer selection) and is the schedule seed, so
+	// different schedules also vary the traffic pattern.
+	app func(short bool, seed int64) appFunc
+	// buggy marks the intentionally order-sensitive workload: exploration
+	// is expected to find failing schedules, and tests assert it does.
+	buggy bool
+}
+
+var workloads = map[string]workloadSpec{
+	"pairs": {
+		name:  "pairs",
+		ranks: 3,
+		app:   pairsApp,
+	},
+	"exchange": {
+		name:  "exchange",
+		ranks: 3,
+		app: func(short bool, seed int64) appFunc {
+			p := workload.ExchangeParams{Rounds: 3, MessagesPerRound: 4, Payload: 16, Seed: seed}
+			if short {
+				p.Rounds = 2
+				p.MessagesPerRound = 3
+			}
+			return func(mpi simmpi.MPI) error {
+				_, err := workload.Exchange(mpi, p)
+				return err
+			}
+		},
+	},
+	"mcb": {
+		name:  "mcb",
+		ranks: 4,
+		app: func(short bool, seed int64) appFunc {
+			p := mcb.Params{Particles: 60, TimeSteps: 2, CrossProb: 0.4, Seed: seed}
+			if short {
+				p.Particles = 24
+				p.TimeSteps = 1
+			}
+			return func(mpi simmpi.MPI) error {
+				_, err := mcb.Run(mpi, p)
+				return err
+			}
+		},
+	},
+	"buggy": {
+		name:  "buggy",
+		ranks: 3,
+		app:   buggyApp,
+		buggy: true,
+	},
+}
+
+// WorkloadNames lists the registered workloads, sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloads))
+	for n := range workloads { //cdc:allow(maporder) names are sorted immediately below
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func workloadFor(name string) (workloadSpec, error) {
+	wl, ok := workloads[name]
+	if !ok {
+		return workloadSpec{}, fmt.Errorf("dst: unknown workload %q (have %v)", name, WorkloadNames())
+	}
+	return wl, nil
+}
+
+// pairsApp exercises the widest MF surface of the bundled workloads:
+// wildcard Testsome polling, quiescence Allreduce, Barrier, a directed-ring
+// Irecv+Wait, and a final Allgather. Sends are a pure function of (rank,
+// round), so any receive order replays.
+func pairsApp(short bool, seed int64) appFunc {
+	rounds := 3
+	if short {
+		rounds = 2
+	}
+	const msgsPerPeer = 2
+	return func(mpi simmpi.MPI) error {
+		n, rank := mpi.Size(), mpi.Rank()
+		if n == 1 {
+			return nil
+		}
+		const tag = 7
+		pool := make([]*simmpi.Request, 3)
+		for i := range pool {
+			req, err := mpi.Irecv(simmpi.AnySource, tag)
+			if err != nil {
+				return err
+			}
+			pool[i] = req
+		}
+		var sent, received uint64
+		poll := func() error {
+			idxs, _, err := mpi.Testsome(pool)
+			if err != nil {
+				return err
+			}
+			for _, i := range idxs {
+				received++
+				req, err := mpi.Irecv(simmpi.AnySource, tag)
+				if err != nil {
+					return err
+				}
+				pool[i] = req
+			}
+			return nil
+		}
+		for round := 0; round < rounds; round++ {
+			for p := 0; p < n; p++ {
+				if p == rank {
+					continue
+				}
+				for m := 0; m < msgsPerPeer; m++ {
+					if err := mpi.Send(p, tag, []byte{byte(rank), byte(round), byte(m)}); err != nil {
+						return err
+					}
+					sent++
+					if err := poll(); err != nil {
+						return err
+					}
+				}
+			}
+			for {
+				if err := poll(); err != nil {
+					return err
+				}
+				pending, err := mpi.Allreduce(float64(sent)-float64(received), simmpi.OpSum)
+				if err != nil {
+					return err
+				}
+				if pending == 0 {
+					break
+				}
+			}
+			if err := mpi.Barrier(); err != nil {
+				return err
+			}
+		}
+		// Directed ring: a specific-source blocking receive (Wait coverage).
+		const ringTag = 9
+		req, err := mpi.Irecv((rank+n-1)%n, ringTag)
+		if err != nil {
+			return err
+		}
+		if err := mpi.Send((rank+1)%n, ringTag, []byte{byte(rank)}); err != nil {
+			return err
+		}
+		if _, err := mpi.Wait(req); err != nil {
+			return err
+		}
+		_, err = mpi.Allgather(float64(rank))
+		return err
+	}
+}
+
+// buggyApp is the intentionally injected ordering bug (test-only, §11):
+// rank 0 receives one message from every other rank through a wildcard
+// receive and asserts they arrive in ascending sender order — an assumption
+// that holds on the convenient round-robin schedule but not in general.
+// Schedule exploration must find a counterexample and shrink it.
+func buggyApp(short bool, seed int64) appFunc {
+	return func(mpi simmpi.MPI) error {
+		n, rank := mpi.Size(), mpi.Rank()
+		const tag = 13
+		if rank != 0 {
+			return mpi.Send(0, tag, []byte{byte(rank)})
+		}
+		for expect := 1; expect < n; expect++ {
+			req, err := mpi.Irecv(simmpi.AnySource, tag)
+			if err != nil {
+				return err
+			}
+			st, err := mpi.Wait(req)
+			if err != nil {
+				return err
+			}
+			if st.Source != expect {
+				return fmt.Errorf("dst: buggy workload: observed sender %d where %d was assumed", st.Source, expect)
+			}
+		}
+		return nil
+	}
+}

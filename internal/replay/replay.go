@@ -116,6 +116,11 @@ type Options struct {
 	// DESIGN.md §8): match-loop stalls, group wait latency, clock-wait
 	// time, and pool depth.
 	Obs *obs.Registry
+	// CallsiteSkip is added to the frame skip when resolving MF callsites.
+	// It lets a tool layer interposed between the application and the
+	// replayer (e.g. a re-recording pass in the DST harness) resolve
+	// callsites to the application's program counters rather than its own.
+	CallsiteSkip int
 }
 
 func (o *Options) fill() {
@@ -768,7 +773,20 @@ func (rp *Replayer) ensureProbes(reqs []*simmpi.Request) error {
 		src, tag := r.Spec()
 		delete(needed, spec{src, tag})
 	}
-	for sp := range needed {
+	// Post in sorted spec order: posting order decides which request an
+	// incoming message binds to when specs overlap, so map order here would
+	// leak goroutine-schedule noise into an otherwise deterministic replay.
+	specs := make([]spec, 0, len(needed))
+	for sp := range needed { //cdc:allow(maporder) specs are sorted by (src, tag) immediately below
+		specs = append(specs, sp)
+	}
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].src != specs[j].src {
+			return specs[i].src < specs[j].src
+		}
+		return specs[i].tag < specs[j].tag
+	})
+	for _, sp := range specs {
 		probe, err := rp.next.Irecv(sp.src, sp.tag)
 		if err != nil {
 			return err
@@ -787,7 +805,7 @@ func (rp *Replayer) stream(skip int) (*stream, error) {
 	cs := uint64(0)
 	name := "merged"
 	if !rp.opts.DisableMFID {
-		cs, name = callsite.ID(skip + 1)
+		cs, name = callsite.ID(skip + 1 + rp.opts.CallsiteSkip)
 	}
 	s, ok := rp.streams[cs]
 	if !ok {
@@ -1393,6 +1411,11 @@ func (rp *Replayer) Waitall(reqs []*simmpi.Request) ([]simmpi.Status, error) {
 
 // Stats returns the replayer's counters.
 func (rp *Replayer) Stats() Stats { return rp.stats }
+
+// Clock exposes the underlying lamport layer's current clock so a recorder
+// stacked on top of a replayer (DST property P2) can discover the clock
+// source exactly as it would on a plain lamport layer.
+func (rp *Replayer) Clock() uint64 { return rp.next.Clock() }
 
 // Verify reports leftover state after the application finished: unreplayed
 // record events or unreleased pooled messages. Once the replay crossed into

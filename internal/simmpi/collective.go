@@ -38,31 +38,31 @@ func newCollectives(n int) *collectives {
 	return c
 }
 
-func (c *collectives) barrier(deadline time.Duration) error {
-	_, err := c.sync(0, 0, OpSum, false, deadline)
+func (c *collectives) barrier(cm *Comm) error {
+	_, err := c.sync(cm, 0, OpSum, false)
 	return err
 }
 
-func (c *collectives) allreduce(rank int, v float64, op ReduceOp, deadline time.Duration) (float64, error) {
-	return c.sync(rank, v, op, true, deadline)
+func (c *collectives) allreduce(cm *Comm, v float64, op ReduceOp) (float64, error) {
+	return c.sync(cm, v, op, true)
 }
 
 // bcast distributes root's data; implemented as a publish + barrier pair
 // so the payload cannot be overwritten by a subsequent collective before
 // every rank copied it.
-func (c *collectives) bcast(rank int, data []byte, root int, deadline time.Duration) ([]byte, error) {
-	if rank == root {
+func (c *collectives) bcast(cm *Comm, data []byte, root int) ([]byte, error) {
+	if cm.rank == root {
 		c.mu.Lock()
 		c.payload = append([]byte(nil), data...)
 		c.mu.Unlock()
 	}
-	if err := c.barrier(deadline); err != nil {
+	if err := c.barrier(cm); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	out := append([]byte(nil), c.payload...)
 	c.mu.Unlock()
-	if err := c.barrier(deadline); err != nil {
+	if err := c.barrier(cm); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -70,32 +70,36 @@ func (c *collectives) bcast(rank int, data []byte, root int, deadline time.Durat
 
 // gather collects per-rank values; every rank receives the full slice and
 // the caller decides root visibility.
-func (c *collectives) gather(rank int, v float64, deadline time.Duration) ([]float64, error) {
+func (c *collectives) gather(cm *Comm, v float64) ([]float64, error) {
 	c.mu.Lock()
 	if c.gathered == nil {
 		c.gathered = make([]float64, c.n)
 	}
-	c.gathered[rank] = v
+	c.gathered[cm.rank] = v
 	c.mu.Unlock()
-	if err := c.barrier(deadline); err != nil {
+	if err := c.barrier(cm); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	out := append([]float64(nil), c.gathered...)
 	c.mu.Unlock()
-	if err := c.barrier(deadline); err != nil {
+	if err := c.barrier(cm); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-func (c *collectives) sync(rank int, v float64, op ReduceOp, reduce bool, deadline time.Duration) (float64, error) {
-	timeout := time.AfterFunc(deadline, func() {
-		// Wake sleepers so they can observe the timeout; the generation
-		// check below distinguishes a spurious wake from completion.
-		c.cond.Broadcast()
-	})
-	defer timeout.Stop()
+func (c *collectives) sync(cm *Comm, v float64, op ReduceOp, reduce bool) (float64, error) {
+	seq := cm.world.opts.Sequencer
+	wallClock := seq == nil && !cm.world.opts.VirtualTime
+	if wallClock {
+		timeout := time.AfterFunc(cm.deadline, func() {
+			// Wake sleepers so they can observe the timeout; the generation
+			// check below distinguishes a spurious wake from completion.
+			c.cond.Broadcast()
+		})
+		defer timeout.Stop()
+	}
 	start := time.Now()
 
 	c.mu.Lock()
@@ -108,7 +112,7 @@ func (c *collectives) sync(rank int, v float64, op ReduceOp, reduce bool, deadli
 		c.op = op
 	}
 	if reduce {
-		c.vals[rank] = v
+		c.vals[cm.rank] = v
 	}
 	c.arrived++
 	if c.arrived == c.n {
@@ -122,13 +126,29 @@ func (c *collectives) sync(rank int, v float64, op ReduceOp, reduce bool, deadli
 		c.arrived = 0
 		c.gen++
 		c.cond.Broadcast()
+		if seq != nil {
+			seq.WakeAll()
+		}
 		return c.result, nil
 	}
 	for c.gen == gen {
 		if c.aborted != nil && c.aborted.Load() {
 			return 0, ErrAborted
 		}
-		if time.Since(start) > deadline {
+		if seq != nil {
+			// A collective waiter cannot poll its mailbox, so it is truly
+			// blocked until the last arrival's WakeAll (or an abort). The
+			// mutex is released across the yield: the completing rank needs
+			// it, and the sequencer must not grant anyone while we hold it.
+			c.mu.Unlock()
+			err := seq.Yield(cm.rank, true)
+			c.mu.Lock()
+			if err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if wallClock && time.Since(start) > cm.deadline {
 			return 0, ErrTimeout
 		}
 		c.cond.Wait()

@@ -42,9 +42,20 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.n }
 
+// enter is the per-MPI-call boundary: a sequencer yield point (each call
+// is one schedulable step in DST mode) followed by the fault check.
+func (c *Comm) enter() error {
+	if seq := c.world.opts.Sequencer; seq != nil {
+		if err := seq.Yield(c.rank, false); err != nil {
+			return err
+		}
+	}
+	return c.checkFault()
+}
+
 // Send copies data and deposits it in dst's mailbox.
 func (c *Comm) Send(dst, tag int, data []byte) error {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return err
 	}
 	if dst < 0 || dst >= c.world.n {
@@ -57,12 +68,13 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	c.traffic.SentMessages++
 	c.traffic.SentBytes += uint64(len(buf))
 	c.world.boxes[dst].deposit(c.rank, tag, buf)
+	c.world.wake(dst)
 	return nil
 }
 
 // Irecv posts a non-blocking receive.
 func (c *Comm) Irecv(src, tag int) (*Request, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return nil, err
 	}
 	if src != AnySource && (src < 0 || src >= c.world.n) {
@@ -117,7 +129,7 @@ func (c *Comm) statusOf(req *Request) Status {
 
 // Test checks one request (MPI_Test).
 func (c *Comm) Test(req *Request) (bool, Status, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return false, Status{}, err
 	}
 	if req.consumed {
@@ -135,7 +147,7 @@ func (c *Comm) Test(req *Request) (bool, Status, error) {
 // Among several matched requests it completes the one whose message arrived
 // first.
 func (c *Comm) Testany(reqs []*Request) (int, bool, Status, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return -1, false, Status{}, err
 	}
 	c.poll()
@@ -166,7 +178,7 @@ func earlier(a, b *Request) bool {
 // Testsome completes every matched request in the set (MPI_Testsome),
 // in message-arrival order.
 func (c *Comm) Testsome(reqs []*Request) ([]int, []Status, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return nil, nil, err
 	}
 	c.poll()
@@ -197,7 +209,7 @@ func (c *Comm) gatherMatched(reqs []*Request) ([]int, []Status, error) {
 
 // Testall completes all requests if every one is matched (MPI_Testall).
 func (c *Comm) Testall(reqs []*Request) (bool, []Status, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return false, nil, err
 	}
 	c.poll()
@@ -217,19 +229,30 @@ func (c *Comm) Testall(reqs []*Request) (bool, []Status, error) {
 	return true, sts, nil
 }
 
-// spinWait polls until cond holds or the deadline passes.
+// spinWait polls until cond holds or the deadline passes. Under a sequencer
+// every loop iteration is a yield point: the rank reports itself blocked only
+// when its mailbox has no undelivered messages — if messages are in flight it
+// must keep getting scheduled so its polls advance the mailbox tick.
 func (c *Comm) spinWait(cond func() bool) error {
+	seq := c.world.opts.Sequencer
 	start := time.Now()
 	spins := 0
 	for !cond() {
 		if c.world.aborted.Load() {
 			return c.checkFault()
 		}
+		if seq != nil {
+			blocked := c.world.boxes[c.rank].pending() == 0
+			if err := seq.Yield(c.rank, blocked); err != nil {
+				return err
+			}
+			continue
+		}
 		spins++
 		if spins%64 == 0 {
 			runtime.Gosched()
 		}
-		if spins%4096 == 0 && time.Since(start) > c.deadline {
+		if !c.world.opts.VirtualTime && spins%4096 == 0 && time.Since(start) > c.deadline {
 			return fmt.Errorf("%w: rank %d, %d message(s) in flight",
 				ErrTimeout, c.rank, c.world.boxes[c.rank].pending())
 		}
@@ -239,7 +262,7 @@ func (c *Comm) spinWait(cond func() bool) error {
 
 // Wait blocks until the request completes (MPI_Wait).
 func (c *Comm) Wait(req *Request) (Status, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return Status{}, err
 	}
 	if req.consumed {
@@ -304,29 +327,29 @@ func (c *Comm) Waitall(reqs []*Request) ([]Status, error) {
 
 // Barrier blocks until every rank arrives.
 func (c *Comm) Barrier() error {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return err
 	}
-	return c.world.coll.barrier(c.deadline)
+	return c.world.coll.barrier(c)
 }
 
 // Allreduce reduces v across all ranks with op.
 func (c *Comm) Allreduce(v float64, op ReduceOp) (float64, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return 0, err
 	}
-	return c.world.coll.allreduce(c.rank, v, op, c.deadline)
+	return c.world.coll.allreduce(c, v, op)
 }
 
 // Reduce reduces v across all ranks; only root sees the result.
 func (c *Comm) Reduce(v float64, op ReduceOp, root int) (float64, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return 0, err
 	}
 	if root < 0 || root >= c.world.n {
 		return 0, fmt.Errorf("simmpi: reduce to invalid root %d", root)
 	}
-	out, err := c.world.coll.allreduce(c.rank, v, op, c.deadline)
+	out, err := c.world.coll.allreduce(c, v, op)
 	if err != nil {
 		return 0, err
 	}
@@ -338,24 +361,24 @@ func (c *Comm) Reduce(v float64, op ReduceOp, root int) (float64, error) {
 
 // Bcast distributes root's data to every rank.
 func (c *Comm) Bcast(data []byte, root int) ([]byte, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return nil, err
 	}
 	if root < 0 || root >= c.world.n {
 		return nil, fmt.Errorf("simmpi: bcast from invalid root %d", root)
 	}
-	return c.world.coll.bcast(c.rank, data, root, c.deadline)
+	return c.world.coll.bcast(c, data, root)
 }
 
 // Gather collects every rank's v at root.
 func (c *Comm) Gather(v float64, root int) ([]float64, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return nil, err
 	}
 	if root < 0 || root >= c.world.n {
 		return nil, fmt.Errorf("simmpi: gather to invalid root %d", root)
 	}
-	out, err := c.world.coll.gather(c.rank, v, c.deadline)
+	out, err := c.world.coll.gather(c, v)
 	if err != nil {
 		return nil, err
 	}
@@ -367,8 +390,8 @@ func (c *Comm) Gather(v float64, root int) ([]float64, error) {
 
 // Allgather collects every rank's v at every rank.
 func (c *Comm) Allgather(v float64) ([]float64, error) {
-	if err := c.checkFault(); err != nil {
+	if err := c.enter(); err != nil {
 		return nil, err
 	}
-	return c.world.coll.gather(c.rank, v, c.deadline)
+	return c.world.coll.gather(c, v)
 }

@@ -63,6 +63,7 @@ func (w *World) abort() {
 		w.coll.mu.Lock()
 		w.coll.cond.Broadcast()
 		w.coll.mu.Unlock()
+		w.wakeAll()
 	}
 }
 

@@ -46,6 +46,9 @@ type mailbox struct {
 	inflight   []*envelope
 	// lastArrive tracks per-sender arrival frontiers to keep FIFO order.
 	lastArrive map[int]uint64
+	// deliver, when non-nil, replaces the jitter RNG (Options.Delivery
+	// with this mailbox's rank bound as dst).
+	deliver func(src, tag int, seq uint64) uint64
 
 	ins mailboxInstruments
 }
@@ -62,7 +65,12 @@ func newMailbox(seed int64, maxJitter int) *mailbox {
 func (m *mailbox) deposit(src, tag int, data []byte) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	jitter := uint64(m.rng.Intn(m.maxJitter + 1))
+	var jitter uint64
+	if m.deliver != nil {
+		jitter = m.deliver(src, tag, m.depositSeq+1)
+	} else {
+		jitter = uint64(m.rng.Intn(m.maxJitter + 1))
+	}
 	at := m.tick + jitter + 1
 	if last := m.lastArrive[src]; at < last {
 		at = last // never overtake an earlier message from the same sender

@@ -163,6 +163,28 @@ const (
 	OpMin
 )
 
+// Sequencer serializes rank execution for deterministic schedule
+// exploration (DST, internal/dst). When a world has one, every rank parks
+// in Yield at each MPI call boundary and exactly one rank runs between
+// consecutive grants, so the interleaving of MPI-visible actions is a pure
+// function of the sequencer's decisions — the goroutine scheduler stops
+// being a source of non-determinism.
+type Sequencer interface {
+	// Yield parks the calling rank until the sequencer grants it the next
+	// step. blocked marks the rank unrunnable until Wake/WakeAll (used by
+	// blocking waits with nothing left to poll); a non-blocked yield keeps
+	// the rank in the runnable set. A non-nil error (schedule deadlock,
+	// abort) must unwind the rank's MPI call.
+	Yield(rank int, blocked bool) error
+	// Wake marks a blocked rank runnable again (message deposit).
+	Wake(rank int)
+	// WakeAll marks every blocked rank runnable (collective completion,
+	// world abort).
+	WakeAll()
+	// Done retires the calling rank once its function returns.
+	Done(rank int)
+}
+
 // Options configure a World.
 type Options struct {
 	// Seed seeds the delivery-jitter noise; two worlds with different
@@ -184,6 +206,21 @@ type Options struct {
 	// names, DESIGN.md §8): per-message jitter ticks, message count, and
 	// in-flight depth. Shared across all ranks' mailboxes.
 	Obs *obs.Registry
+	// Sequencer, when non-nil, hands rank scheduling to a deterministic
+	// controller (see the Sequencer interface). Implies VirtualTime.
+	Sequencer Sequencer
+	// Delivery, when non-nil, replaces the mailbox jitter RNG: it returns
+	// the delivery delay in receiver poll ticks for the message identified
+	// by (dst, src, tag, seq), where seq is the destination mailbox's
+	// 1-based deposit sequence number. A pure function keeps delivery a
+	// deterministic function of the deposit order, which a Sequencer in
+	// turn makes a deterministic function of its decisions.
+	Delivery func(dst, src, tag int, seq uint64) uint64
+	// VirtualTime disables wall-clock deadlines in blocking calls: a stuck
+	// world is reported by the Sequencer's deadlock detection (or hangs,
+	// if there is none) instead of tripping ErrTimeout on slow machines.
+	// Forced on when Sequencer is set.
+	VirtualTime bool
 }
 
 func (o *Options) fill() {
@@ -192,6 +229,9 @@ func (o *Options) fill() {
 	}
 	if o.WaitTimeout == 0 {
 		o.WaitTimeout = 30 * time.Second
+	}
+	if o.Sequencer != nil {
+		o.VirtualTime = true
 	}
 }
 
@@ -222,8 +262,28 @@ func NewWorld(n int, opts Options) *World {
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox(opts.Seed*1_000_003+int64(i)*7919+1, opts.MaxJitter)
 		w.boxes[i].ins = ins
+		if opts.Delivery != nil {
+			dst := i
+			w.boxes[i].deliver = func(src, tag int, seq uint64) uint64 {
+				return w.opts.Delivery(dst, src, tag, seq)
+			}
+		}
 	}
 	return w
+}
+
+// wake marks a rank runnable in sequencer mode (no-op otherwise).
+func (w *World) wake(rank int) {
+	if s := w.opts.Sequencer; s != nil {
+		s.Wake(rank)
+	}
+}
+
+// wakeAll marks every blocked rank runnable in sequencer mode.
+func (w *World) wakeAll() {
+	if s := w.opts.Sequencer; s != nil {
+		s.WakeAll()
+	}
 }
 
 // Size returns the number of ranks.
@@ -248,18 +308,33 @@ func (w *World) Run(fn func(mpi MPI) error) error {
 
 // RunRanked is Run with the rank passed explicitly, for callers that stack
 // per-rank tool layers around the raw endpoint.
+//
+// Under a Sequencer, every rank parks before running fn (so the first
+// decision sees the complete rank set) and retires via Done afterwards;
+// between those points the rank only runs while holding the sequencer's
+// grant.
 func (w *World) RunRanked(fn func(rank int, mpi MPI) error) error {
 	errs := make([]error, w.n)
+	seq := w.opts.Sequencer
 	var wg sync.WaitGroup
 	for r := 0; r < w.n; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if seq != nil {
+				defer seq.Done(rank)
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
 				}
 			}()
+			if seq != nil {
+				if err := seq.Yield(rank, false); err != nil {
+					errs[rank] = err
+					return
+				}
+			}
 			errs[rank] = fn(rank, w.Comm(rank))
 		}(r)
 	}
