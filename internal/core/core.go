@@ -89,6 +89,14 @@ type EncoderOptions struct {
 	// permutation encoding, LP encoding, and gzip. Stage sizing does a
 	// little extra work per chunk flush; a nil registry skips it entirely.
 	Obs *obs.Registry
+	// Resume appends to an existing record file instead of starting one:
+	// the magic header is assumed present and a fresh gzip member is
+	// opened after the cleanly closed previous stream (see
+	// NewFrameWriterResume). The writer must be positioned at the end of
+	// the file (O_APPEND). ResumeClock seeds the encoder's clock bound so
+	// flush-point marks stay monotone across the resume boundary.
+	Resume      bool
+	ResumeClock uint64
 }
 
 func (o *EncoderOptions) fill() {
@@ -163,12 +171,29 @@ type FrameWriter struct {
 // set, every FlushPoint and the final Close fsync the underlying writer if
 // it implements Syncer.
 func NewFrameWriter(w io.Writer, gzipLevel int, durable bool) (*FrameWriter, error) {
+	return newFrameWriter(w, gzipLevel, durable, true)
+}
+
+// NewFrameWriterResume continues an existing record file: the magic header
+// is already on disk, so only a fresh gzip member is opened, appended after
+// the cleanly closed previous one. Decoders need no resume awareness —
+// gzip readers concatenate members transparently, so the appended frames
+// read as a straight continuation of the original stream. The ingest
+// daemon uses this to extend a salvaged (or gracefully finalized) rank
+// record across a daemon restart.
+func NewFrameWriterResume(w io.Writer, gzipLevel int, durable bool) (*FrameWriter, error) {
+	return newFrameWriter(w, gzipLevel, durable, false)
+}
+
+func newFrameWriter(w io.Writer, gzipLevel int, durable bool, writeMagic bool) (*FrameWriter, error) {
 	if gzipLevel == 0 {
 		gzipLevel = gzip.DefaultCompression
 	}
 	cw := &countingWriter{w: w}
-	if _, err := io.WriteString(cw, Magic); err != nil {
-		return nil, err
+	if writeMagic {
+		if _, err := io.WriteString(cw, Magic); err != nil {
+			return nil, err
+		}
 	}
 	zw, err := getGzipWriter(cw, gzipLevel)
 	if err != nil {
@@ -305,7 +330,13 @@ type pendingStream struct {
 // NewEncoder creates an Encoder writing to w.
 func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
 	opts.fill()
-	fw, err := NewFrameWriter(w, opts.GzipLevel, opts.Durable)
+	var fw *FrameWriter
+	var err error
+	if opts.Resume {
+		fw, err = NewFrameWriterResume(w, opts.GzipLevel, opts.Durable)
+	} else {
+		fw, err = NewFrameWriter(w, opts.GzipLevel, opts.Durable)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -314,6 +345,7 @@ func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
 		fw:      fw,
 		pending: make(map[uint64]*pendingStream),
 		named:   make(map[uint64]bool),
+		clock:   opts.ResumeClock,
 	}
 	if reg := opts.Obs; reg != nil {
 		e.obsReg = reg

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"cdcreplay/internal/tables"
+)
+
+// TestEncoderResumeAppends pins the resume contract the ingest daemon
+// relies on: a second Encoder opened with Resume on a cleanly closed
+// record appends a fresh gzip member, and the existing readers decode the
+// concatenation as one continuous frame stream — names, chunks, and
+// flush-point marks from both members, with monotone mark clocks across
+// the boundary.
+func TestEncoderResumeAppends(t *testing.T) {
+	var buf bytes.Buffer
+
+	enc, err := NewEncoder(&buf, EncoderOptions{ChunkEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.RegisterCallsite(7, "first"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := enc.Observe(7, tables.Matched(0, uint64(i+1), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := buf.Len()
+
+	enc2, err := NewEncoder(&buf, EncoderOptions{ChunkEvents: 4, Resume: true, ResumeClock: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc2.RegisterCallsite(9, "second"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := enc2.Observe(9, tables.Matched(1, uint64(10+i), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc2.Observe(9, tables.Unmatched(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() <= firstLen {
+		t.Fatalf("resume appended nothing: %d <= %d bytes", buf.Len(), firstLen)
+	}
+
+	it, err := OpenRecord(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var matched, unmatched uint64
+	var lastMark uint64
+	for {
+		f, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("decoding resumed record: %v", err)
+		}
+		if f.Chunk != nil {
+			matched += f.Chunk.NumMatched
+			for _, run := range f.Chunk.Unmatched {
+				unmatched += run.Count
+			}
+		}
+		if f.Flush {
+			if f.FlushClock < lastMark {
+				t.Fatalf("flush mark clock went backwards across resume: %d after %d",
+					f.FlushClock, lastMark)
+			}
+			lastMark = f.FlushClock
+		}
+	}
+	if matched != 9 {
+		t.Fatalf("matched events across members = %d, want 9", matched)
+	}
+	if unmatched != 2 {
+		t.Fatalf("unmatched tests across members = %d, want 2", unmatched)
+	}
+	names := it.Names()
+	if names[7] != "first" || names[9] != "second" {
+		t.Fatalf("names across members = %v, want both registered", names)
+	}
+	if it.FlushPoints() < 2 {
+		t.Fatalf("flush points = %d, want one per member at least", it.FlushPoints())
+	}
+}

@@ -1,0 +1,202 @@
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cdcreplay/internal/ingestclient"
+	"cdcreplay/internal/ingestd"
+	"cdcreplay/internal/ingestwire"
+	"cdcreplay/internal/netfault"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/workload"
+)
+
+// P5 ingest — the daemon's exactly-once ack contract holds under an
+// adversarial network: a seeded fault plan tears connections mid-frame and
+// refuses dials, the workload's bounded-reorder adversary scrambles event
+// arrival within a window, and after the client's resume protocol runs its
+// course the record must hold every observed event exactly once, in order.
+//
+// Unlike P1–P4, the schedule here is not fully captured by the decision
+// sequence — TCP interleaving stays real — but every injected fault is a
+// pure function of (seed, dial attempt), so a failing seed replays the
+// same fault plan against the same event stream.
+
+// IngestConfig parameterizes the P5 exploration.
+type IngestConfig struct {
+	// Seeds is how many fault schedules to run. Default 6 (3 in Short).
+	Seeds int
+	// Seed is the base schedule seed; schedule i uses Seed+i.
+	Seed int64
+	// Events is the stream length per schedule. Default 1500 (500 short).
+	Events int
+	// Faults is how many leading dial attempts the plan corrupts per
+	// schedule: odd attempts are refused outright, even attempts get a
+	// seeded write budget so the connection tears mid-frame. Default 3.
+	Faults int
+	// Depth is the bounded-reorder delay bound fed to the workload
+	// generator (how far events arrive out of order). Default 4.
+	Depth int
+	// Short reduces sizes, mirroring go test -short.
+	Short bool
+}
+
+func (c *IngestConfig) fill() {
+	if c.Seeds == 0 {
+		c.Seeds = 6
+		if c.Short {
+			c.Seeds = 3
+		}
+	}
+	if c.Events == 0 {
+		c.Events = 1500
+		if c.Short {
+			c.Events = 500
+		}
+	}
+	if c.Faults == 0 {
+		c.Faults = 3
+	}
+	if c.Depth == 0 {
+		c.Depth = 4
+	}
+}
+
+// IngestReport summarizes a P5 exploration.
+type IngestReport struct {
+	// Schedules is how many fault schedules ran.
+	Schedules int
+	// Resumes is the total client reconnect-with-history count; a run
+	// with faults injected and zero resumes exercised nothing.
+	Resumes uint64
+	// Failures holds one line per failed schedule (empty on success).
+	Failures []string
+}
+
+// ingestStream builds the schedule's wire rows: a bounded-reorder stream
+// over two callsites, switching at MF-group boundaries (a WithNext group
+// must stay within one callsite's stream).
+func ingestStream(events, depth int, seed int64) []ingestwire.Row {
+	evs := workload.Stream(workload.StreamParams{
+		Events:        events,
+		Senders:       1,
+		Disorder:      depth,
+		UnmatchedProb: 0.3,
+		GroupProb:     0.15,
+		Seed:          seed,
+	})
+	rows := make([]ingestwire.Row, 0, len(evs))
+	cs := uint64(1)
+	named := map[uint64]bool{}
+	for _, ev := range evs {
+		row := ingestwire.Row{Callsite: cs, Ev: ev}
+		if !named[cs] {
+			row.Name = fmt.Sprintf("site%d@dst.c:%d", cs, cs)
+			named[cs] = true
+		}
+		rows = append(rows, row)
+		if !ev.Flag || !ev.WithNext {
+			cs = 3 - cs
+		}
+	}
+	return rows
+}
+
+// CheckIngest runs the P5 exactly-once property across seeded fault
+// schedules and reports every violation.
+func CheckIngest(cfg IngestConfig) (*IngestReport, error) {
+	cfg.fill()
+	rep := &IngestReport{}
+	for i := 0; i < cfg.Seeds; i++ {
+		seed := cfg.Seed + int64(i)
+		resumes, err := checkIngestOnce(cfg, seed)
+		rep.Schedules++
+		rep.Resumes += resumes
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("seed %d: %v", seed, err))
+		}
+	}
+	return rep, nil
+}
+
+func checkIngestOnce(cfg IngestConfig, seed int64) (uint64, error) {
+	root, err := os.MkdirTemp("", "dst-ingest-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(root) //cdc:allow(errsink) best-effort temp cleanup
+
+	srv, err := ingestd.New(ingestd.Config{
+		Addr:          "127.0.0.1:0",
+		Root:          root,
+		FlushInterval: 2 * time.Millisecond,
+		Obs:           obs.NewRegistry(),
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := srv.Start(); err != nil {
+		return 0, err
+	}
+	defer srv.Kill()
+
+	// The fault plan is a pure function of (seed, dial attempt): the first
+	// cfg.Faults attempts alternate torn writes (seeded byte budget, so the
+	// connection dies mid-frame) and refused dials; everything after is
+	// clean. Budgets start past the handshake size so sessions establish
+	// and then tear during event streaming.
+	rng := rand.New(rand.NewSource(seed))
+	var budgets []int
+	for j := 0; j < cfg.Faults; j++ {
+		budgets = append(budgets, 256+rng.Intn(4096))
+	}
+	dialer := netfault.NewDialer(nil, func(attempt int) netfault.Plan {
+		if attempt >= cfg.Faults {
+			return netfault.Plan{}
+		}
+		if attempt%2 == 1 {
+			return netfault.Plan{RefuseDial: true}
+		}
+		return netfault.Plan{WriteBudget: budgets[attempt]}
+	})
+
+	rows := ingestStream(cfg.Events, cfg.Depth, seed)
+	c, err := ingestclient.Dial(ingestclient.Config{
+		Addr: srv.Addr(), Tenant: "dst", Run: fmt.Sprintf("p5-%d", seed), Rank: 0, Ranks: 1,
+		BatchRows: 16, // small frames so torn writes land mid-stream, not mid-first-flush
+		Backoff: ingestclient.Backoff{
+			Base: 2 * time.Millisecond, Cap: 50 * time.Millisecond, MaxAttempts: 50,
+			Rand: rand.New(rand.NewSource(seed)),
+		},
+		Dialer: func(addr string) (net.Conn, error) { return dialer.Dial(addr) },
+	})
+	if err != nil {
+		return 0, fmt.Errorf("dial through fault plan: %w", err)
+	}
+	for _, r := range rows {
+		if err := c.Observe(r.Callsite, r.Name, r.Ev, 0); err != nil {
+			return c.Resumes(), fmt.Errorf("observe: %w", err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		return c.Resumes(), fmt.Errorf("close: %w", err)
+	}
+
+	dir := filepath.Join(root, "dst", fmt.Sprintf("p5-%d", seed))
+	if _, err := recorddir.Open(dir, "ingest", 1); err != nil {
+		return c.Resumes(), fmt.Errorf("finalized run: %w", err)
+	}
+	if err := ingestd.VerifyRank(recorddir.RankPath(dir, 0), rows); err != nil {
+		return c.Resumes(), fmt.Errorf("exactly-once violated: %w", err)
+	}
+	if cfg.Faults > 0 && c.Resumes() == 0 {
+		return c.Resumes(), fmt.Errorf("fault plan injected %d faults but the client never resumed", cfg.Faults)
+	}
+	return c.Resumes(), nil
+}

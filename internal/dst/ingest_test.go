@@ -1,0 +1,30 @@
+package dst
+
+import "testing"
+
+func TestIngestExactlyOnceUnderFaults(t *testing.T) {
+	cfg := IngestConfig{Seed: 1, Short: testing.Short()}
+	rep, err := CheckIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if rep.Resumes == 0 {
+		t.Error("no schedule produced a client resume; the fault plan exercised nothing")
+	}
+	t.Logf("P5: %d schedules, %d resumes", rep.Schedules, rep.Resumes)
+}
+
+func TestIngestNoFaultsBaseline(t *testing.T) {
+	// Faults < 0 is the clean-network control: exactly-once must hold
+	// trivially and no resume may occur.
+	rep, err := CheckIngest(IngestConfig{Seeds: 1, Seed: 99, Events: 300, Faults: -1, Depth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+}

@@ -1,0 +1,98 @@
+package ingestclient
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cdcreplay/internal/ingestwire"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{
+		Base:        10 * time.Millisecond,
+		Cap:         400 * time.Millisecond,
+		Jitter:      0.25,
+		MaxAttempts: 10,
+		Rand:        rand.New(rand.NewSource(42)),
+	}
+	cases := []struct {
+		attempt int
+		ideal   time.Duration
+	}{
+		{0, 10 * time.Millisecond},
+		{1, 20 * time.Millisecond},
+		{2, 40 * time.Millisecond},
+		{3, 80 * time.Millisecond},
+		{4, 160 * time.Millisecond},
+		{5, 320 * time.Millisecond},
+		{6, 400 * time.Millisecond}, // capped: 640ms > Cap
+		{7, 400 * time.Millisecond},
+		{60, 400 * time.Millisecond}, // shift overflow must still cap
+	}
+	for _, tc := range cases {
+		// Jitter is multiplicative: each draw lands in ideal±25%.
+		lo := time.Duration(float64(tc.ideal) * (1 - b.Jitter))
+		hi := time.Duration(float64(tc.ideal) * (1 + b.Jitter))
+		for i := 0; i < 50; i++ {
+			d := b.Delay(tc.attempt)
+			if d < lo || d > hi {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", tc.attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterSpreads(t *testing.T) {
+	// Two clients with different seeds must not retry in lockstep —
+	// jitter exists to break thundering herds after a daemon restart.
+	a := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.2,
+		Rand: rand.New(rand.NewSource(1))}
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Jitter: 0.2,
+		Rand: rand.New(rand.NewSource(2))}
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Delay(3) == b.Delay(3) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("independent backoffs produced identical delay sequences")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	b.fill()
+	if b.Base <= 0 || b.Cap < b.Base || b.MaxAttempts <= 0 || b.Rand == nil {
+		t.Fatalf("fill left invalid defaults: %+v", b)
+	}
+	d := b.Delay(0)
+	if d <= 0 || d > 2*b.Base {
+		t.Fatalf("Delay(0) = %v, want near Base %v", d, b.Base)
+	}
+}
+
+func TestRejectedErrorRetryable(t *testing.T) {
+	cases := []struct {
+		code ingestwire.RejectCode
+		want bool
+	}{
+		{ingestwire.RejectQuotaSessions, true},
+		{ingestwire.RejectRankBusy, true},
+		{ingestwire.RejectDraining, true},
+		{ingestwire.RejectVersion, false},
+		{ingestwire.RejectQuotaDisk, false},
+		{ingestwire.RejectMalformed, false},
+		{ingestwire.RejectRanksConflict, false},
+	}
+	for _, tc := range cases {
+		e := &RejectedError{Code: tc.code}
+		if e.Retryable() != tc.want {
+			t.Errorf("RejectedError{%v}.Retryable() = %v, want %v", tc.code, e.Retryable(), tc.want)
+		}
+		if e.Error() == "" {
+			t.Errorf("RejectedError{%v} has empty message", tc.code)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package ingestd
+
+import (
+	"sync"
+	"time"
+
+	"cdcreplay/internal/obs"
+)
+
+// Quota bounds one tenant's footprint on the daemon. Zero fields are
+// unlimited.
+type Quota struct {
+	// MaxSessions caps concurrent sessions across all of the tenant's
+	// runs; excess handshakes are rejected with RejectQuotaSessions
+	// (retryable: a slot frees when a session ends).
+	MaxSessions int
+	// MaxBytesPerSec paces the tenant's aggregate ingest: a session whose
+	// tenant is over rate is slowed by delaying frame admission, not
+	// rejected, so a bursty client degrades to its contracted rate.
+	MaxBytesPerSec int64
+	// MaxDiskBytes caps compressed record bytes on disk across the
+	// tenant's runs; a session that crosses it is killed with a
+	// RejectQuotaDisk error frame and later handshakes are rejected.
+	MaxDiskBytes int64
+}
+
+// tenantState is the daemon's accounting for one tenant.
+type tenantState struct {
+	name  string
+	quota Quota
+	bytes *obs.Counter // ingest.tenant.<name>.bytes
+
+	mu        sync.Mutex
+	sessions  int
+	diskBytes int64
+	// token bucket for MaxBytesPerSec; tokens may go negative, in which
+	// case the overdraft is the pacing delay times the rate.
+	tokens     float64
+	lastRefill time.Time
+}
+
+func newTenantState(name string, q Quota, reg *obs.Registry) *tenantState {
+	return &tenantState{
+		name:  name,
+		quota: q,
+		bytes: reg.Counter("ingest.tenant." + name + ".bytes"),
+	}
+}
+
+// tryAcquireSession claims a session slot, false when at quota.
+func (t *tenantState) tryAcquireSession() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quota.MaxSessions > 0 && t.sessions >= t.quota.MaxSessions {
+		return false
+	}
+	t.sessions++
+	return true
+}
+
+func (t *tenantState) releaseSession() {
+	t.mu.Lock()
+	t.sessions--
+	t.mu.Unlock()
+}
+
+// pace admits n ingested bytes against the rate quota and returns how long
+// the caller must sleep before reading more. The bucket holds up to one
+// second of burst.
+func (t *tenantState) pace(n int, now time.Time) time.Duration {
+	rate := t.quota.MaxBytesPerSec
+	if rate <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lastRefill.IsZero() {
+		t.lastRefill = now
+		t.tokens = float64(rate)
+	}
+	t.tokens += now.Sub(t.lastRefill).Seconds() * float64(rate)
+	t.lastRefill = now
+	if max := float64(rate); t.tokens > max {
+		t.tokens = max
+	}
+	t.tokens -= float64(n)
+	if t.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-t.tokens / float64(rate) * float64(time.Second))
+}
+
+// addDisk accounts n more record bytes, reporting false when the tenant
+// crossed its disk quota.
+func (t *tenantState) addDisk(n int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.diskBytes += n
+	return t.quota.MaxDiskBytes <= 0 || t.diskBytes <= t.quota.MaxDiskBytes
+}
+
+// overDisk reports whether the tenant is at or past its disk quota.
+func (t *tenantState) overDisk() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.quota.MaxDiskBytes > 0 && t.diskBytes > t.quota.MaxDiskBytes
+}

@@ -1,0 +1,118 @@
+// Package netfault injects deterministic connection faults for exercising
+// the ingest path's fault tolerance: a wrapped net.Conn can cut off after a
+// byte budget (ending with a partial write, the way a TCP connection dies
+// mid-frame), and a dialer can refuse the first N connection attempts.
+//
+// The discipline mirrors simmpi's FaultyWriter: when a write crosses the
+// budget, the bytes up to the budget ARE written before the error returns,
+// so the peer observes a torn frame rather than a clean boundary. Torn
+// frames are exactly what the wire protocol's CRC trailer and the client's
+// resume-from-acked-offset logic must absorb.
+package netfault
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrInjected is the failure returned once a connection's write budget is
+// exhausted or a dial attempt is refused by plan.
+var ErrInjected = errors.New("netfault: injected fault")
+
+// Plan describes the faults for one connection attempt.
+type Plan struct {
+	// RefuseDial fails the attempt before a connection exists.
+	RefuseDial bool
+	// WriteBudget cuts the connection after this many written bytes
+	// (the budget-crossing write is partially applied). Zero means
+	// unlimited.
+	WriteBudget int
+}
+
+// Conn wraps a net.Conn with a write byte budget.
+type Conn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	budget  int
+	limited bool
+	dead    bool
+}
+
+// Limit wraps c so that writes past budget bytes fail with ErrInjected.
+func Limit(c net.Conn, budget int) *Conn {
+	return &Conn{Conn: c, budget: budget, limited: budget > 0}
+}
+
+// Write applies the budget: the final permitted bytes are written before
+// the injected error, leaving a torn frame on the peer's side, and every
+// later write fails immediately.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.limited {
+		return c.Conn.Write(p)
+	}
+	if c.dead {
+		return 0, ErrInjected
+	}
+	if len(p) <= c.budget {
+		n, err := c.Conn.Write(p)
+		c.budget -= n
+		return n, err
+	}
+	c.dead = true
+	n, err := c.Conn.Write(p[:c.budget])
+	c.budget -= n
+	// Close the underlying conn so the peer's read side also observes the
+	// failure instead of waiting on a half-dead session.
+	c.Conn.Close() //cdc:allow(errsink) best-effort teardown of an injected failure
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}
+
+// Dialer produces faulty connections per an attempt-indexed plan.
+type Dialer struct {
+	mu      sync.Mutex
+	attempt int
+	plan    func(attempt int) Plan
+	dial    func(addr string) (net.Conn, error)
+}
+
+// NewDialer wraps dial (nil means net.Dial "tcp") with plans: plan(i) is
+// applied to the i-th attempt (0-based).
+func NewDialer(dial func(addr string) (net.Conn, error), plan func(attempt int) Plan) *Dialer {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return &Dialer{plan: plan, dial: dial}
+}
+
+// Dial makes the next attempt under its plan.
+func (d *Dialer) Dial(addr string) (net.Conn, error) {
+	d.mu.Lock()
+	p := d.plan(d.attempt)
+	d.attempt++
+	d.mu.Unlock()
+	if p.RefuseDial {
+		return nil, ErrInjected
+	}
+	c, err := d.dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if p.WriteBudget > 0 {
+		return Limit(c, p.WriteBudget), nil
+	}
+	return c, nil
+}
+
+// Attempts reports how many dial attempts have been made.
+func (d *Dialer) Attempts() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.attempt
+}

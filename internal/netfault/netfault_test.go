@@ -1,0 +1,112 @@
+package netfault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, derr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if derr != nil || err != nil {
+		t.Fatalf("pair: %v, %v", derr, err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		server.Close()
+	})
+	return client, server
+}
+
+func TestLimitPartialFinalWrite(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := Limit(client, 10)
+
+	if n, err := fc.Write([]byte("1234567")); n != 7 || err != nil {
+		t.Fatalf("within budget: %d, %v", n, err)
+	}
+	// Crossing write: exactly 3 bytes land, then the injected error.
+	n, err := fc.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write: %d, %v; want 3, ErrInjected", n, err)
+	}
+	// Budget exhausted: later writes fail without touching the conn.
+	if n, err := fc.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget write: %d, %v", n, err)
+	}
+
+	// The peer sees exactly the 10 budgeted bytes, then EOF (the wrapper
+	// closed the conn), i.e. a torn stream, not a clean frame boundary.
+	got, rerr := io.ReadAll(server)
+	if string(got) != "1234567abc" {
+		t.Fatalf("peer read %q, want torn prefix %q", got, "1234567abc")
+	}
+	if rerr != nil && !errors.Is(rerr, net.ErrClosed) {
+		t.Fatalf("peer read error: %v", rerr)
+	}
+}
+
+func TestDialerPlans(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(io.Discard, c) }() //cdc:allow(errsink) sink peer
+		}
+	}()
+
+	d := NewDialer(nil, func(attempt int) Plan {
+		switch attempt {
+		case 0:
+			return Plan{RefuseDial: true}
+		case 1:
+			return Plan{WriteBudget: 4}
+		default:
+			return Plan{}
+		}
+	})
+
+	if _, err := d.Dial(ln.Addr().String()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempt 0 should be refused: %v", err)
+	}
+
+	c1, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c1.Write([]byte("123456")); n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("attempt 1 budget: %d, %v; want 4, ErrInjected", n, err)
+	}
+
+	c2, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write(make([]byte, 1<<16)); err != nil {
+		t.Fatalf("attempt 2 should be clean: %v", err)
+	}
+	if d.Attempts() != 3 {
+		t.Fatalf("attempts = %d, want 3", d.Attempts())
+	}
+}

@@ -368,11 +368,15 @@ func (r *Recorder) enqueue(cs uint64, name string, ev tables.Event) {
 		clock = r.clockNow()
 	}
 	item := queueItem{callsite: cs, name: name, ev: ev, clock: clock}
-	if !r.q.TryEnqueue(item) {
+	// Full-at-entry is sampled from the producer's own view rather than via
+	// TryEnqueue, whose failure path now bumps the shared Stalls instrument;
+	// Enqueue below counts the same episode once, keeping one blocking
+	// episode = one stall.
+	if r.q.Len() == r.q.Cap() {
 		r.stats.EnqueueBlocked++
-		if !r.q.Enqueue(item) {
-			return
-		}
+	}
+	if !r.q.Enqueue(item) {
+		return
 	}
 	r.stats.Enqueued++
 }

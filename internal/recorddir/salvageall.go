@@ -1,0 +1,243 @@
+package recorddir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cdcreplay/internal/core"
+)
+
+// salvageTmpSuffix names the sibling directory a crash-safe in-place
+// salvage writes into before swapping it over the damaged run.
+const salvageTmpSuffix = ".salvaged"
+
+// RunSalvage is one run directory's outcome from SalvageAll.
+type RunSalvage struct {
+	// Dir is the run directory, relative to the walked root.
+	Dir string
+	// Salvaged reports the run was incomplete and a consistent prefix was
+	// recovered in place; Report describes what survived. False with a
+	// nil Err means the run was already complete and was left untouched.
+	Salvaged bool
+	// Adopted reports a finished salvage from a previous crashed recovery
+	// (the swap's rename had not happened yet) was moved into place.
+	Adopted bool
+	// Report is the per-rank salvage outcome (nil unless Salvaged).
+	Report *SalvageReport
+	// Err is the failure for this run; SalvageAll continues past it so one
+	// damaged tenant cannot block every other tenant's recovery.
+	Err error
+}
+
+// SalvageAll walks a multi-tenant record root (any directory tree holding
+// record directories, e.g. root/tenant/run) and recovers every run left
+// incomplete by a crash, in place. Complete runs are left untouched. The
+// in-place swap is itself crash-safe:
+//
+//  1. the salvaged prefix is written to <run>.salvaged (a stale one from an
+//     earlier interrupted recovery is removed first),
+//  2. the damaged run directory is removed,
+//  3. <run>.salvaged is renamed over the run's path.
+//
+// A crash between steps 2 and 3 leaves only <run>.salvaged; the next
+// SalvageAll adopts it by finishing the rename. A crash before step 2
+// leaves the damaged run intact and the half-written salvage output is
+// discarded and redone. Results are sorted by Dir so the report order is
+// deterministic regardless of filesystem walk order.
+func SalvageAll(root string) ([]RunSalvage, error) {
+	dirs, orphans, err := findRuns(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []RunSalvage
+	// Adopt finished-but-unrenamed salvages from a previous crashed
+	// recovery before scanning run dirs, so the adopted run is then seen
+	// (and skipped) as complete.
+	for _, tmp := range orphans {
+		dst := strings.TrimSuffix(tmp, salvageTmpSuffix)
+		rs := RunSalvage{Dir: relOrSelf(root, dst), Adopted: true}
+		if rs.Err = os.Rename(tmp, dst); rs.Err == nil {
+			dirs = append(dirs, dst)
+		}
+		out = append(out, rs)
+	}
+	seen := make(map[string]bool, len(dirs))
+	for _, dir := range dirs {
+		if seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		rs := salvageRun(root, dir)
+		if rs != nil {
+			out = append(out, *rs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+// salvageRun recovers one run directory if needed; nil means it was
+// complete and untouched.
+func salvageRun(root, dir string) *RunSalvage {
+	rs := &RunSalvage{Dir: relOrSelf(root, dir)}
+	m, err := readManifest(dir)
+	if err != nil {
+		rs.Err = err
+		return rs
+	}
+	if m.Complete {
+		return nil
+	}
+	tmp := dir + salvageTmpSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		rs.Err = err
+		return rs
+	}
+	report, err := Salvage(dir, tmp)
+	if err != nil {
+		rs.Err = fmt.Errorf("recorddir: salvaging %s: %w", dir, err)
+		return rs
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		rs.Err = err
+		return rs
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		rs.Err = err
+		return rs
+	}
+	rs.Salvaged = true
+	rs.Report = report
+	return rs
+}
+
+// findRuns locates record directories (holding a manifest) and orphaned
+// .salvaged directories under root. A missing root is an empty store, not
+// an error, so a first daemon start needs no special casing.
+func findRuns(root string) (dirs, orphans []string, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if path == root && errors.Is(err, fs.ErrNotExist) {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, salvageTmpSuffix) {
+			// Orphaned only when the destination vanished; otherwise it is
+			// a stale partial salvage the per-run swap will redo.
+			if _, serr := os.Stat(strings.TrimSuffix(path, salvageTmpSuffix)); errors.Is(serr, fs.ErrNotExist) {
+				orphans = append(orphans, path)
+			}
+			return filepath.SkipDir
+		}
+		if _, serr := os.Stat(filepath.Join(path, ManifestName)); serr == nil {
+			dirs = append(dirs, path)
+			return filepath.SkipDir
+		}
+		return nil
+	})
+	return dirs, orphans, err
+}
+
+func relOrSelf(root, dir string) string {
+	if rel, err := filepath.Rel(root, dir); err == nil {
+		return rel
+	}
+	return dir
+}
+
+// ReadManifest reads a run directory's manifest without the completeness
+// and identity checks Open applies — the ingest attach path expects
+// in-progress (and, before salvage, crashed) runs.
+func ReadManifest(dir string) (Manifest, error) { return readManifest(dir) }
+
+// Reopen marks an existing record directory as in-progress again so new
+// events can be appended to its rank records (core.EncoderOptions.Resume).
+// It inverts Finalize: the manifest's Complete marker is cleared, so a
+// crash while appending is detected on the next Open/SalvageAll instead of
+// being mistaken for a finished run. The rank files themselves are left
+// untouched. Returns the manifest as it was before clearing.
+func Reopen(dir string) (Manifest, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return m, err
+	}
+	prev := m
+	m.Complete = false
+	if err := writeManifest(dir, m); err != nil {
+		return prev, err
+	}
+	return prev, nil
+}
+
+// OpenRankFileAppend opens a rank's record file for appending, creating it
+// if absent. resume reports whether the file already has content — in that
+// case the caller must write through core.NewFrameWriterResume (the magic
+// header is already present); a fresh file takes the ordinary writer.
+func OpenRankFileAppend(dir string, rank int) (f *os.File, resume bool, err error) {
+	path := RankPath(dir, rank)
+	fi, err := os.Stat(path)
+	switch {
+	case err == nil:
+		resume = fi.Size() > 0
+	case errors.Is(err, fs.ErrNotExist):
+		// fresh file
+	default:
+		return nil, false, err
+	}
+	f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	return f, resume, nil
+}
+
+// RankFrontier scans one rank's record file and reports its logical-event
+// frontier: the number of logical events (each matched receive counts one,
+// each unmatched test counts one — an aggregated failed-test row of count
+// n counts n) and the largest flush-mark clock. The ingest daemon states
+// this frontier as the resume offset after a restart: everything the file
+// holds is durable, so a client holding unacked events from that offset on
+// can replay the tail exactly once. A missing file is an empty frontier.
+func RankFrontier(path string) (events, clock uint64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close() //cdc:allow(errsink) read-side close; scan errors surface from Next
+	it, err := core.OpenRecord(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer it.Close() //cdc:allow(errsink) read-side close; scan errors surface from Next
+	for {
+		fr, err := it.Next()
+		if err == io.EOF {
+			return events, clock, nil
+		}
+		if err != nil {
+			return events, clock, err
+		}
+		if fr.Chunk != nil {
+			events += fr.Chunk.NumMatched
+			for _, run := range fr.Chunk.Unmatched {
+				events += run.Count
+			}
+		}
+		if fr.Flush && fr.FlushClock > clock {
+			clock = fr.FlushClock
+		}
+	}
+}

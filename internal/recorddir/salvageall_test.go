@@ -1,0 +1,238 @@
+package recorddir
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/tables"
+)
+
+// makeRun writes a single-rank run under root at tenant/run with events
+// matched events, optionally leaving the manifest incomplete and the rank
+// file torn (crash simulation by truncation past the last flush mark).
+func makeRun(t *testing.T, root, tenant, run string, events int, complete, torn bool) string {
+	t.Helper()
+	dir := filepath.Join(root, tenant, run)
+	if err := Create(dir, Manifest{Ranks: 1, App: "ingest"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := CreateRankFile(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.NewEncoder(f, core.EncoderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < events; i++ {
+		if err := enc.Observe(0, tables.Matched(0, uint64(i+1), false)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%4 == 0 {
+			if err := enc.FlushAll(uint64(i + 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		// Chop the tail so the final frames are damaged, as a crash
+		// mid-write would leave them.
+		path := RankPath(dir, 0)
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf[:len(buf)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if complete {
+		if err := Finalize(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestSalvageAllRecoversIncompleteRuns(t *testing.T) {
+	root := t.TempDir()
+	makeRun(t, root, "acme", "run1", 16, true, false)  // complete: untouched
+	makeRun(t, root, "acme", "run2", 16, false, true)  // crashed: salvage
+	makeRun(t, root, "globex", "run1", 8, false, true) // crashed: salvage
+
+	results, err := SalvageAll(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("SalvageAll returned %d results, want 2 (complete run untouched): %+v", len(results), results)
+	}
+	for _, rs := range results {
+		if rs.Err != nil {
+			t.Fatalf("run %s: %v", rs.Dir, rs.Err)
+		}
+		if !rs.Salvaged || rs.Report == nil {
+			t.Fatalf("run %s not salvaged: %+v", rs.Dir, rs)
+		}
+		kept, _ := rs.Report.Events()
+		if kept == 0 {
+			t.Fatalf("run %s salvaged zero events", rs.Dir)
+		}
+	}
+	if results[0].Dir != filepath.Join("acme", "run2") || results[1].Dir != filepath.Join("globex", "run1") {
+		t.Fatalf("results not sorted by dir: %q, %q", results[0].Dir, results[1].Dir)
+	}
+
+	// Every salvaged run is now complete and replayable in place.
+	for _, dir := range []string{filepath.Join(root, "acme", "run2"), filepath.Join(root, "globex", "run1")} {
+		m, err := Open(dir, "ingest", 1)
+		if err != nil {
+			t.Fatalf("salvaged run %s does not open: %v", dir, err)
+		}
+		if !m.Salvaged {
+			t.Fatalf("salvaged run %s not marked Salvaged", dir)
+		}
+	}
+
+	// Idempotent: a second sweep finds nothing to do.
+	results, err = SalvageAll(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("second SalvageAll sweep returned %d results, want 0", len(results))
+	}
+}
+
+func TestSalvageAllAdoptsOrphanedSwap(t *testing.T) {
+	root := t.TempDir()
+	dir := makeRun(t, root, "acme", "run1", 12, false, true)
+
+	// Simulate a recovery that crashed between removing the damaged run
+	// and renaming the salvaged copy into place.
+	tmp := dir + salvageTmpSuffix
+	if _, err := Salvage(dir, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := SalvageAll(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Adopted || results[0].Err != nil {
+		t.Fatalf("orphaned swap not adopted: %+v", results)
+	}
+	if _, err := Open(dir, "ingest", 1); err != nil {
+		t.Fatalf("adopted run does not open: %v", err)
+	}
+}
+
+func TestSalvageAllMissingRoot(t *testing.T) {
+	results, err := SalvageAll(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil {
+		t.Fatalf("missing root should be an empty store: %v", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("missing root returned %d results", len(results))
+	}
+}
+
+func TestReopenClearsComplete(t *testing.T) {
+	root := t.TempDir()
+	dir := makeRun(t, root, "acme", "run1", 8, true, false)
+
+	prev, err := Reopen(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prev.Complete {
+		t.Fatal("Reopen should report the prior manifest, which was complete")
+	}
+	if _, err := Open(dir, "ingest", 1); err == nil {
+		t.Fatal("reopened dir should refuse Open until finalized again")
+	}
+	if err := Finalize(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "ingest", 1); err != nil {
+		t.Fatalf("finalized-again dir should open: %v", err)
+	}
+}
+
+func TestOpenRankFileAppendAndFrontier(t *testing.T) {
+	root := t.TempDir()
+	dir := makeRun(t, root, "acme", "run1", 10, true, false)
+
+	events, clock, err := RankFrontier(RankPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 10 {
+		t.Fatalf("frontier events = %d, want 10", events)
+	}
+	if clock == 0 {
+		t.Fatal("frontier clock = 0, want last flush-mark clock")
+	}
+
+	f, resume, err := OpenRankFileAppend(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resume {
+		t.Fatal("existing rank file should resume")
+	}
+	enc, err := core.NewEncoder(f, core.EncoderOptions{Resume: true, ResumeClock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := enc.Observe(0, tables.Matched(0, clock+uint64(i+1), false)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Observe(0, tables.Unmatched(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events2, clock2, err := RankFrontier(RankPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events2 != 15 { // 10 + 3 matched + 2 unmatched tests
+		t.Fatalf("frontier after append = %d, want 15", events2)
+	}
+	if clock2 < clock+3 {
+		t.Fatalf("frontier clock after append = %d, want >= %d", clock2, clock+3)
+	}
+
+	// A fresh rank takes the non-resume path.
+	f2, resume2, err := OpenRankFileAppend(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if resume2 {
+		t.Fatal("fresh rank file should not resume")
+	}
+	ev0, _, err := RankFrontier(RankPath(dir, 2))
+	if err != nil || ev0 != 0 {
+		t.Fatalf("missing rank frontier = %d,%v want 0,nil", ev0, err)
+	}
+}

@@ -152,9 +152,11 @@ func (q *Queue[T]) Len() int {
 	return int(q.tail.Load() - q.head.Load())
 }
 
-// TryEnqueue adds v if space is available, reporting whether it did.
-// It must only be called by the single producer.
-func (q *Queue[T]) TryEnqueue(v T) bool {
+// tryEnqueue is the raw ring insert: it adds v if space is available and
+// reports whether it did, with no instrumentation side effects. Enqueue's
+// spin loop uses it so a single blocking episode is not counted as a stall
+// once per iteration.
+func (q *Queue[T]) tryEnqueue(v T) bool {
 	t := q.tail.Load()
 	if t-q.head.Load() == uint64(len(q.buf)) {
 		return false
@@ -166,19 +168,34 @@ func (q *Queue[T]) TryEnqueue(v T) bool {
 	return true
 }
 
+// TryEnqueue adds v if space is available, reporting whether it did, and
+// counts a Stalls observation when the ring is full. It never blocks, so a
+// producer that must not wait (an ingest worker shedding load back to the
+// network instead of blocking its accept path) can use the false return to
+// throttle the source while the full ring stays visible on the same
+// instrument a blocking producer would have bumped.
+// It must only be called by the single producer.
+func (q *Queue[T]) TryEnqueue(v T) bool {
+	if q.tryEnqueue(v) {
+		return true
+	}
+	q.ins.Stalls.Inc()
+	return false
+}
+
 // Enqueue adds v, blocking while the queue is full, and reports whether the
 // item was accepted. It must only be called by the single producer. A false
 // result means the queue was closed — either before the call or while the
 // producer was blocked on a full ring with the consumer gone (a crashed or
 // abandoned drain thread); the item is dropped rather than deadlocking the
-// producer.
+// producer. A blocking episode counts as one stall however long it spins.
 func (q *Queue[T]) Enqueue(v T) bool {
 	spins := 0
 	for {
 		if q.closed.Load() {
 			return false
 		}
-		if q.TryEnqueue(v) {
+		if q.tryEnqueue(v) {
 			return true
 		}
 		if spins == 0 {

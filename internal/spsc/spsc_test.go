@@ -1,6 +1,8 @@
 package spsc
 
 import (
+	"cdcreplay/internal/obs"
+
 	"sync"
 	"testing"
 	"time"
@@ -264,5 +266,59 @@ func TestNewWithBackoff(t *testing.T) {
 	wg.Wait()
 	if q.IdleLoops() == 0 {
 		t.Error("nap-heavy profile recorded no idle loops")
+	}
+}
+
+// TestTryEnqueueCountsStalls pins the shed-load contract: a failed
+// TryEnqueue on a full ring registers on the Stalls instrument (so
+// non-blocking producers are as observable as blocking ones), a successful
+// one does not, and a blocking Enqueue episode still counts exactly once
+// however long it spins.
+func TestTryEnqueueCountsStalls(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := New[int](4)
+	stalls := reg.Counter("q.stalls")
+	q.Instrument(Instruments{
+		Enqueued: reg.Counter("q.enqueued"),
+		Stalls:   stalls,
+		Depth:    reg.Gauge("q.depth"),
+	})
+	for i := 0; i < 4; i++ {
+		if !q.TryEnqueue(i) {
+			t.Fatalf("TryEnqueue(%d) failed on non-full queue", i)
+		}
+	}
+	if got := stalls.Value(); got != 0 {
+		t.Fatalf("stalls after successful enqueues = %d, want 0", got)
+	}
+	for i := 0; i < 3; i++ {
+		if q.TryEnqueue(99) {
+			t.Fatal("TryEnqueue succeeded on full queue")
+		}
+	}
+	if got := stalls.Value(); got != 3 {
+		t.Fatalf("stalls after 3 failed TryEnqueues = %d, want 3", got)
+	}
+
+	// A blocking Enqueue that spins across many unproductive iterations is
+	// still one stall: unblock it after a delay and check the count moved
+	// by exactly one.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !q.Enqueue(100) {
+			t.Error("Enqueue returned false on open queue")
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := q.TryDequeue(); !ok {
+		t.Fatal("TryDequeue failed on full queue")
+	}
+	<-done
+	if got := stalls.Value(); got != 4 {
+		t.Fatalf("stalls after blocking Enqueue episode = %d, want 4", got)
+	}
+	if got := q.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
 	}
 }
