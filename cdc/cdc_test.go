@@ -11,8 +11,9 @@ import (
 
 	"cdcreplay/internal/mcb"
 	"cdcreplay/internal/obs"
-	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/memstore"
 )
 
 const testRanks = 4
@@ -42,7 +43,8 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 	var mu sync.Mutex
 	var recorded float64
 	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 21, MaxJitter: 8})
-	rep, err := Record(w, dir, mcbApp(&recorded, &mu),
+	rep, err := Record(w, mcbApp(&recorded, &mu),
+		WithDir(dir),
 		WithApp("mcb"),
 		WithParams(map[string]string{"particles": "80"}))
 	if err != nil {
@@ -62,7 +64,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 
 	var replayed float64
 	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 99, MaxJitter: 8})
-	rrep, err := Replay(w2, dir, mcbApp(&replayed, &mu), WithApp("mcb"))
+	rrep, err := Replay(w2, mcbApp(&replayed, &mu), WithDir(dir), WithApp("mcb"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,8 +93,8 @@ func TestRecordWithObsPopulatesRegistry(t *testing.T) {
 	var mu sync.Mutex
 	var tally float64
 	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 22, MaxJitter: 8, Obs: reg})
-	rep, err := Record(w, dir, mcbApp(&tally, &mu),
-		WithApp("mcb"), WithObs(reg), WithFlushEveryRows(64))
+	rep, err := Record(w, mcbApp(&tally, &mu),
+		WithDir(dir), WithApp("mcb"), WithObs(reg), WithFlushEveryRows(64))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +125,7 @@ func TestRecordWithObsPopulatesRegistry(t *testing.T) {
 
 	reg2 := obs.NewRegistry()
 	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 23, MaxJitter: 8, Obs: reg2})
-	rrep, err := Replay(w2, dir, mcbApp(&tally, &mu), WithApp("mcb"), WithObs(reg2))
+	rrep, err := Replay(w2, mcbApp(&tally, &mu), WithDir(dir), WithApp("mcb"), WithObs(reg2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,18 +140,18 @@ func TestRecordFailureLeavesDirIncomplete(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "rec")
 	boom := errors.New("app exploded")
 	w := simmpi.NewWorld(2, simmpi.Options{Seed: 3})
-	_, err := Record(w, dir, func(rank int, mpi simmpi.MPI) error {
+	_, err := Record(w, func(rank int, mpi simmpi.MPI) error {
 		if rank == 1 {
 			return boom
 		}
 		return nil
-	})
+	}, WithDir(dir))
 	if !errors.Is(err, boom) {
 		t.Fatalf("record error = %v, want the app error", err)
 	}
 	w2 := simmpi.NewWorld(2, simmpi.Options{Seed: 4})
-	_, err = Replay(w2, dir, func(int, simmpi.MPI) error { return nil })
-	if !errors.Is(err, recorddir.ErrIncomplete) {
+	_, err = Replay(w2, func(int, simmpi.MPI) error { return nil }, WithDir(dir))
+	if !errors.Is(err, store.ErrIncomplete) {
 		t.Fatalf("replay of torn dir = %v, want ErrIncomplete", err)
 	}
 }
@@ -159,20 +161,137 @@ func TestSessionsRejectInvalidOptions(t *testing.T) {
 	w := simmpi.NewWorld(2, simmpi.Options{Seed: 5})
 	app := func(int, simmpi.MPI) error { return nil }
 	// Option errors must fire before the directory is created.
-	if _, err := Record(w, dir, app, WithDurable()); !errors.Is(err, ErrInvalidOption) {
+	if _, err := Record(w, app, WithDir(dir), WithDurable()); !errors.Is(err, ErrInvalidOption) {
 		t.Fatalf("Record durable-without-cadence = %v", err)
 	}
-	if _, err := Record(w, dir, app, WithTimeout(1)); !errors.Is(err, ErrInvalidOption) {
+	if _, err := Record(w, app, WithDir(dir), WithTimeout(1)); !errors.Is(err, ErrInvalidOption) {
 		t.Fatalf("Record with replay option = %v", err)
 	}
 	if _, err := os.Stat(dir); !os.IsNotExist(err) {
 		t.Error("rejected session still created the record directory")
 	}
-	if _, err := Record(w, dir, nil); err == nil {
+	if _, err := Record(w, nil, WithDir(dir)); err == nil {
 		t.Error("nil app accepted")
 	}
-	if _, err := Replay(w, dir, app, WithChunkEvents(8)); !errors.Is(err, ErrInvalidOption) {
+	if _, err := Replay(w, app, WithDir(dir), WithChunkEvents(8)); !errors.Is(err, ErrInvalidOption) {
 		t.Fatalf("Replay with record option = %v", err)
+	}
+}
+
+// TestStorageOptionValidation pins the storage-destination cross checks:
+// exactly one destination, layout only alongside WithDir, and typed
+// *OptionError values naming the offending option.
+func TestStorageOptionValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	w := simmpi.NewWorld(2, simmpi.Options{Seed: 6})
+	app := func(int, simmpi.MPI) error { return nil }
+	cases := []struct {
+		name string
+		run  func() error
+		want string // option name the *OptionError must carry
+	}{
+		{"no destination", func() error {
+			_, err := Record(w, app)
+			return err
+		}, "WithDir"},
+		{"store and dir", func() error {
+			_, err := Record(w, app, WithDir(dir), WithStore(memstore.New()))
+			return err
+		}, "WithStore"},
+		{"store and layout", func() error {
+			_, err := Record(w, app, WithStore(memstore.New()), WithStoreLayout(LayoutSharded))
+			return err
+		}, "WithStoreLayout"},
+		{"layout without dir", func() error {
+			_, err := Record(w, app, WithStoreLayout(LayoutSharded))
+			return err
+		}, "WithStoreLayout"},
+		{"unknown layout", func() error {
+			_, err := Record(w, app, WithDir(dir), WithStoreLayout("btrfs"))
+			return err
+		}, "WithStoreLayout"},
+		{"empty dir", func() error {
+			_, err := Record(w, app, WithDir(""))
+			return err
+		}, "WithDir"},
+		{"nil store", func() error {
+			_, err := Record(w, app, WithStore(nil))
+			return err
+		}, "WithStore"},
+		{"layout on replay", func() error {
+			_, err := Replay(w, app, WithDir(dir), WithStoreLayout(LayoutSharded))
+			return err
+		}, "WithStoreLayout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if !errors.Is(err, ErrInvalidOption) {
+				t.Fatalf("err = %v, want ErrInvalidOption", err)
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err = %v, want *OptionError", err)
+			}
+			if oe.Option != tc.want {
+				t.Errorf("OptionError.Option = %q, want %q", oe.Option, tc.want)
+			}
+		})
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Error("rejected session still created the record directory")
+	}
+}
+
+// TestRecordReplayViaInjectedStore runs the whole facade round trip over
+// an injected in-memory store: no directory ever touches disk, and replay
+// reads through the same Store value.
+func TestRecordReplayViaInjectedStore(t *testing.T) {
+	st := memstore.New()
+	var mu sync.Mutex
+	var recorded, replayed float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 71, MaxJitter: 8})
+	rep, err := Record(w, mcbApp(&recorded, &mu), WithStore(st), WithApp("mcb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layout != LayoutMemory {
+		t.Errorf("report layout = %q, want %q", rep.Layout, LayoutMemory)
+	}
+	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 72, MaxJitter: 8})
+	if _, err := Replay(w2, mcbApp(&replayed, &mu), WithStore(st), WithApp("mcb")); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != recorded {
+		t.Fatalf("tally diverged: recorded %.17g, replayed %.17g", recorded, replayed)
+	}
+}
+
+// TestRecordReplaySharded records under the sharded layout and replays
+// without naming it: Replay sniffs the layout from the manifest.
+func TestRecordReplaySharded(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	var mu sync.Mutex
+	var recorded, replayed float64
+	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 81, MaxJitter: 8})
+	rep, err := Record(w, mcbApp(&recorded, &mu),
+		WithDir(dir), WithStoreLayout(LayoutSharded), WithApp("mcb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Layout != LayoutSharded {
+		t.Errorf("report layout = %q, want %q", rep.Layout, LayoutSharded)
+	}
+	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 82, MaxJitter: 8})
+	rrep, err := Replay(w2, mcbApp(&replayed, &mu), WithDir(dir), WithApp("mcb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != recorded {
+		t.Fatalf("tally diverged: recorded %.17g, replayed %.17g", recorded, replayed)
+	}
+	if rrep.Manifest.Layout != LayoutSharded {
+		t.Errorf("manifest layout = %q, want %q", rrep.Manifest.Layout, LayoutSharded)
 	}
 }
 
@@ -185,7 +304,8 @@ func TestRecordParallelEncodeAndBackoff(t *testing.T) {
 	var mu sync.Mutex
 	var recorded float64
 	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 51, MaxJitter: 8})
-	rep, err := Record(w, dir, mcbApp(&recorded, &mu),
+	rep, err := Record(w, mcbApp(&recorded, &mu),
+		WithDir(dir),
 		WithApp("mcb"),
 		WithEncodeWorkers(4),
 		WithQueueBackoff(32, 512, 100*time.Microsecond))
@@ -198,7 +318,7 @@ func TestRecordParallelEncodeAndBackoff(t *testing.T) {
 
 	var replayed float64
 	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 52, MaxJitter: 8})
-	rrep, err := Replay(w2, dir, mcbApp(&replayed, &mu), WithApp("mcb"))
+	rrep, err := Replay(w2, mcbApp(&replayed, &mu), WithDir(dir), WithApp("mcb"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +333,11 @@ func TestRecordParallelEncodeAndBackoff(t *testing.T) {
 		t.Errorf("manifest backoff = %+v", *spsc)
 	}
 
-	rd, err := OpenRecord(recorddir.RankPath(dir, 0))
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := OpenRankRecord(st, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,10 +372,14 @@ func TestDefaultBackoffRecorded(t *testing.T) {
 	var mu sync.Mutex
 	var tally float64
 	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 61, MaxJitter: 2})
-	if _, err := Record(w, dir, mcbApp(&tally, &mu)); err != nil {
+	if _, err := Record(w, mcbApp(&tally, &mu), WithDir(dir)); err != nil {
 		t.Fatal(err)
 	}
-	m, err := recorddir.Open(dir, "", testRanks)
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := store.Open(st, "", testRanks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,11 +395,11 @@ func TestWithAppCrossCheck(t *testing.T) {
 	var mu sync.Mutex
 	var tally float64
 	w := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 31, MaxJitter: 4})
-	if _, err := Record(w, dir, mcbApp(&tally, &mu), WithApp("mcb")); err != nil {
+	if _, err := Record(w, mcbApp(&tally, &mu), WithDir(dir), WithApp("mcb")); err != nil {
 		t.Fatal(err)
 	}
 	w2 := simmpi.NewWorld(testRanks, simmpi.Options{Seed: 32, MaxJitter: 4})
-	if _, err := Replay(w2, dir, mcbApp(&tally, &mu), WithApp("jacobi")); err == nil {
+	if _, err := Replay(w2, mcbApp(&tally, &mu), WithDir(dir), WithApp("jacobi")); err == nil {
 		t.Fatal("app-name mismatch accepted")
 	}
 }

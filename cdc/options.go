@@ -59,6 +59,12 @@ type config struct {
 	disableMFID bool
 	obs         *obs.Registry
 
+	// Storage destination/source: exactly one of dir (with optional
+	// layout) or store.
+	dir    string
+	layout string
+	store  Store
+
 	// Record side.
 	queueCapacity    int
 	flushInterval    time.Duration
@@ -121,7 +127,67 @@ func newConfig(mode sessionMode, opts []Option) (*config, error) {
 			Reason: "requires a flush cadence (WithFlushInterval or WithFlushEveryRows); " +
 				"without one the record only reaches storage at Close, so durability would not bound crash loss"}
 	}
+	if c.store != nil && c.dir != "" {
+		return nil, &OptionError{Option: "WithStore",
+			Reason: "mutually exclusive with WithDir; pass one storage destination"}
+	}
+	if c.store != nil && c.layout != "" {
+		return nil, &OptionError{Option: "WithStoreLayout",
+			Reason: "mutually exclusive with WithStore; a Store implementation fixes its own layout"}
+	}
+	if c.layout != "" && c.dir == "" {
+		return nil, &OptionError{Option: "WithStoreLayout",
+			Reason: "requires WithDir to name the run directory the layout applies to"}
+	}
+	if c.store == nil && c.dir == "" {
+		return nil, &OptionError{Option: "WithDir",
+			Reason: c.mode.String() + " needs a storage destination: pass WithDir (optionally with WithStoreLayout) or WithStore"}
+	}
 	return c, nil
+}
+
+// WithDir names the on-disk run directory the session records to or
+// replays from. Recording defaults to the "dir" layout (see
+// WithStoreLayout); replay discovers the layout from the manifest.
+// Mutually exclusive with WithStore.
+func WithDir(path string) Option {
+	return func(c *config) error {
+		if path == "" {
+			return &OptionError{Option: "WithDir", Reason: "directory must be non-empty"}
+		}
+		c.dir = path
+		return nil
+	}
+}
+
+// WithStoreLayout picks the on-disk storage layout for a recording under
+// WithDir: LayoutDir ("dir", the default — one record file per rank,
+// byte-compatible with historical records) or LayoutSharded ("sharded" —
+// rank blobs fanned across shard subdirectories as compactable fragments,
+// with seekable cuts). Replay sessions reject it: the layout is read from
+// the manifest, never stated.
+func WithStoreLayout(layout string) Option {
+	return recordOnly("WithStoreLayout", func(c *config) error {
+		if layout != LayoutDir && layout != LayoutSharded {
+			return &OptionError{Option: "WithStoreLayout",
+				Reason: fmt.Sprintf("unknown layout %q; valid layouts are %q and %q", layout, LayoutDir, LayoutSharded)}
+		}
+		c.layout = layout
+		return nil
+	})
+}
+
+// WithStore plugs a Store implementation directly — any backend honouring
+// the internal/store contract, including the in-memory one used by tests
+// and deterministic simulation. Mutually exclusive with WithDir.
+func WithStore(st Store) Option {
+	return func(c *config) error {
+		if st == nil {
+			return &OptionError{Option: "WithStore", Reason: "store must be non-nil"}
+		}
+		c.store = st
+		return nil
+	}
 }
 
 // WithApp names the application in the record manifest (Record) or

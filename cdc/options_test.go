@@ -69,8 +69,8 @@ func TestDurableRequiresFlushCadence(t *testing.T) {
 	expectOptionError(t, modeRecord, "WithDurable", WithDurable())
 	// Either cadence satisfies the cross-option rule, regardless of order.
 	for _, opts := range [][]Option{
-		{WithDurable(), WithFlushEveryRows(32)},
-		{WithFlushInterval(time.Millisecond), WithDurable()},
+		{WithDir("rec"), WithDurable(), WithFlushEveryRows(32)},
+		{WithDir("rec"), WithFlushInterval(time.Millisecond), WithDurable()},
 	} {
 		if _, err := newConfig(modeRecord, opts); err != nil {
 			t.Errorf("durable with cadence rejected: %v", err)
@@ -80,6 +80,8 @@ func TestDurableRequiresFlushCadence(t *testing.T) {
 
 func TestValidOptionsAccumulate(t *testing.T) {
 	cfg, err := newConfig(modeRecord, []Option{
+		WithDir("rec"),
+		WithStoreLayout(LayoutSharded),
 		WithApp("mcb"),
 		WithParams(map[string]string{"particles": "200"}),
 		WithParams(map[string]string{"steps": "2"}),
@@ -95,6 +97,9 @@ func TestValidOptionsAccumulate(t *testing.T) {
 	}
 	if cfg.app != "mcb" || cfg.queueCapacity != 128 {
 		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.dir != "rec" || cfg.layout != LayoutSharded {
+		t.Errorf("storage destination = dir %q layout %q", cfg.dir, cfg.layout)
 	}
 	if cfg.encodeWorkers != 4 {
 		t.Errorf("encodeWorkers = %d, want 4", cfg.encodeWorkers)

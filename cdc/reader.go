@@ -58,17 +58,19 @@ type Frame struct {
 	FlushClock uint64
 }
 
-// RecordReader streams one rank's record file frame by frame in bounded
+// RecordReader streams one rank's record frame by frame in bounded
 // memory — the facade form of the internal streaming iterator. It is not
 // safe for concurrent use.
 type RecordReader struct {
-	f  *os.File
+	f  io.Closer
 	it *core.RecordIter
 }
 
-// OpenRecord opens one rank's record file (e.g. recorddir.RankPath output)
-// for streaming. The returned reader owns the file handle; Close releases
-// both it and the decompressor.
+// OpenRecord opens a raw record file the caller already has a path to
+// (e.g. a file handed to a support engineer) for streaming. Tooling that
+// knows a run directory should use OpenStore + OpenRankRecord instead and
+// never touch layout paths. The returned reader owns the file handle;
+// Close releases both it and the decompressor.
 func OpenRecord(path string) (*RecordReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -80,6 +82,23 @@ func OpenRecord(path string) (*RecordReader, error) {
 		return nil, err
 	}
 	return &RecordReader{f: f, it: it}, nil
+}
+
+// OpenRankRecord opens one rank's record blob from a store (see
+// OpenStore) for streaming. On an incomplete run the blob arrives pinned
+// to the last committed epoch line, so a record being written concurrently
+// reads as a stable prefix.
+func OpenRankRecord(st Store, rank int) (*RecordReader, error) {
+	r, err := st.OpenRank(rank)
+	if err != nil {
+		return nil, err
+	}
+	it, err := core.OpenRecord(r)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return &RecordReader{f: r, it: it}, nil
 }
 
 // Next returns the next verified frame, io.EOF at a clean end of stream, or

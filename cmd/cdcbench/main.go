@@ -9,7 +9,7 @@
 //	cdcbench -exp all -http :6060   # live metrics + pprof while running
 //
 // Experiments: fig1, fig13, fig14, fig15, fig16, fig17, queue, piggyback,
-// replay, ablations, pipeline, encode, all.
+// replay, ablations, pipeline, encode, store, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|encode|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|encode|store|all)")
 	full := flag.Bool("full", false, "paper-leaning scales (slower)")
 	seed := flag.Int64("seed", 1, "network noise seed")
 	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's metrics to this JSON file")
@@ -82,6 +82,19 @@ func main() {
 		}},
 		{"encode", func(c harness.Config) error {
 			res, err := harness.Encode(c)
+			if err != nil {
+				return err
+			}
+			if *metricsOut != "" {
+				if err := res.WriteJSON(*metricsOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *metricsOut)
+			}
+			return nil
+		}},
+		{"store", func(c harness.Config) error {
+			res, err := harness.StoreBench(c)
 			if err != nil {
 				return err
 			}

@@ -11,7 +11,8 @@
 // SIGTERM/SIGINT drains gracefully: new handshakes are rejected with
 // RejectDraining, connected clients get a DRAIN frame, and every open rank
 // file is sealed before exit. A SIGKILL is recovered on the next start via
-// recorddir salvage; clients resume from the durable frontier.
+// the storage backend's salvage sweep; clients resume from the durable
+// frontier.
 package main
 
 import (
@@ -26,6 +27,8 @@ import (
 	"cdcreplay/internal/ingestd"
 	"cdcreplay/internal/obs"
 	"cdcreplay/internal/obs/obshttp"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/shardstore"
 )
 
 func main() {
@@ -34,10 +37,21 @@ func main() {
 	httpAddr := flag.String("http", "", "serve live ingest metrics and pprof on this address (e.g. :6060)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take before forced close")
 	durable := flag.Bool("durable", false, "fsync records at every flush cut")
+	layout := flag.String("store", "dir", "storage layout for new runs: dir (one record file per rank) or sharded (fan-out shard directories with fragment compaction)")
 	flag.Parse()
 
 	if *root == "" {
 		fmt.Fprintln(os.Stderr, "cdcd: -root is required")
+		os.Exit(2)
+	}
+	var backend store.Root
+	switch *layout {
+	case store.LayoutDir:
+		// nil lets ingestd default to the dir layout under -root.
+	case store.LayoutSharded:
+		backend = shardstore.OpenRoot(*root)
+	default:
+		fmt.Fprintf(os.Stderr, "cdcd: unknown -store layout %q (want %q or %q)\n", *layout, store.LayoutDir, store.LayoutSharded)
 		os.Exit(2)
 	}
 	reg := obs.NewRegistry()
@@ -54,6 +68,7 @@ func main() {
 	srv, err := ingestd.New(ingestd.Config{
 		Addr:    *addr,
 		Root:    *root,
+		Store:   backend,
 		Durable: *durable,
 		Obs:     reg,
 	})
@@ -61,8 +76,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdcd: %v\n", err)
 		os.Exit(1)
 	}
-	if sal := srv.Salvaged(); len(sal) > 0 {
-		fmt.Printf("cdcd: salvaged %d interrupted run(s) under %s\n", len(sal), *root)
+	for _, rs := range srv.Salvaged() {
+		switch {
+		case rs.Skipped:
+			fmt.Fprintf(os.Stderr, "cdcd: skipped %s: %s\n", rs.Dir, rs.Finding)
+		case rs.Adopted:
+			fmt.Printf("cdcd: adopted salvaged run %s\n", rs.Dir)
+		default:
+			fmt.Printf("cdcd: salvaged interrupted run %s\n", rs.Dir)
+		}
 	}
 	if err := srv.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "cdcd: %v\n", err)

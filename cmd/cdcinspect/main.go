@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cdcinspect verify  [-json] <record-file>...      # CRC scan; exit 1 if damaged
-//	cdcinspect salvage [-json] -o <out> <record-dir> # recover a crashed record dir
+//	cdcinspect salvage [-json] <record-dir>          # recover a crashed run in place
+//	cdcinspect salvage [-json] -o <out> <record-dir> # dir layout: recover into a copy
 //	cdcinspect stats   [-json] <record-file>...      # callsite/chunk summary
 //	cdcinspect dump    [-json] <record-file>         # per-chunk tables
 package main
@@ -19,8 +20,10 @@ import (
 	"math"
 	"os"
 
+	"cdcreplay/cdc"
 	"cdcreplay/internal/core"
-	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/recorddir"
 )
 
 func usage() {
@@ -171,21 +174,37 @@ type salvageRank struct {
 func cmdSalvage(args []string) int {
 	fs := flag.NewFlagSet("salvage", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
-	out := fs.String("o", "", "output directory for the salvaged record (required)")
+	out := fs.String("o", "", "output directory for the salvaged record (default: salvage in place)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: cdcinspect salvage [-json] -o <out-dir> <record-dir>")
+		fmt.Fprintln(os.Stderr, "usage: cdcinspect salvage [-json] [-o <out-dir>] <record-dir>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
-	if fs.NArg() != 1 || *out == "" {
+	if fs.NArg() != 1 {
 		fs.Usage()
 		return 2
 	}
 	dir := fs.Arg(0)
-	report, err := recorddir.Salvage(dir, *out)
+	var report *store.SalvageReport
+	var err error
+	if *out != "" {
+		// Copy-out salvage is a dir-layout operation: it re-emits one record
+		// file per rank. Other layouts salvage in place through their store.
+		report, err = recorddir.Salvage(dir, *out)
+	} else {
+		var st cdc.Store
+		if st, err = cdc.OpenStore(dir); err == nil {
+			report, err = st.Salvage()
+		}
+		*out = dir
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdcinspect: salvage: %v\n", err)
 		return 1
+	}
+	if report == nil {
+		fmt.Printf("%s: already complete; nothing to salvage\n", dir)
+		return 0
 	}
 	kept, total := report.Events()
 	if *jsonOut {

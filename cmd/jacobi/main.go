@@ -30,6 +30,7 @@ func main() {
 	iters := flag.Int("iters", 500, "Jacobi iterations")
 	mode := flag.String("mode", "plain", "plain|record|replay")
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
+	layout := flag.String("layout", "dir", "storage layout for record mode: dir|sharded (replay reads it from the manifest)")
 	flush := flag.Duration("flush", 0, "periodic chunk flush interval for record mode (0 = event-count flushing only)")
 	seed := flag.Int64("seed", 0, "network noise seed")
 	httpAddr := flag.String("http", "", "serve live pipeline metrics and pprof on this address (e.g. :6060)")
@@ -75,6 +76,8 @@ func main() {
 		err = w.RunRanked(app)
 	case "record":
 		opts := []cdc.Option{
+			cdc.WithDir(*dir),
+			cdc.WithStoreLayout(*layout),
 			cdc.WithApp("jacobi"),
 			cdc.WithParams(map[string]string{
 				"rows":  fmt.Sprint(*rows),
@@ -87,13 +90,13 @@ func main() {
 			opts = append(opts, cdc.WithFlushInterval(*flush))
 		}
 		var rep *cdc.RecordReport
-		rep, err = cdc.Record(w, *dir, app, opts...)
+		rep, err = cdc.Record(w, app, opts...)
 		if err == nil {
 			recorded = rep.TotalBytes()
 		}
 	case "replay":
 		var rep *cdc.ReplayReport
-		rep, err = cdc.Replay(w, *dir, app, cdc.WithApp("jacobi"), cdc.WithObs(reg))
+		rep, err = cdc.Replay(w, app, cdc.WithDir(*dir), cdc.WithApp("jacobi"), cdc.WithObs(reg))
 		if err == nil {
 			if live, notes := rep.Live(); live {
 				for _, n := range notes {

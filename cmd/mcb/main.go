@@ -33,6 +33,7 @@ func main() {
 	steps := flag.Int("steps", 2, "time steps")
 	mode := flag.String("mode", "plain", "plain|record|replay")
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
+	layout := flag.String("layout", "dir", "storage layout for record mode: dir|sharded (replay reads it from the manifest)")
 	flush := flag.Duration("flush", 0, "periodic chunk flush interval for record mode (0 = event-count flushing only)")
 	flushRows := flag.Int("flushrows", 0, "flush the record to storage every N rows (0 = only at close); bounds data lost to a crash")
 	durable := flag.Bool("durable", false, "fsync the record at every flush point (crash-consistent, slower; requires -flush or -flushrows)")
@@ -79,6 +80,8 @@ func main() {
 		err = w.RunRanked(app)
 	case "record":
 		opts := []cdc.Option{
+			cdc.WithDir(*dir),
+			cdc.WithStoreLayout(*layout),
 			cdc.WithApp("mcb"),
 			cdc.WithParams(map[string]string{
 				"particles": fmt.Sprint(*particles),
@@ -95,10 +98,10 @@ func main() {
 		if *durable {
 			opts = append(opts, cdc.WithDurable())
 		}
-		_, err = cdc.Record(w, *dir, app, opts...)
+		_, err = cdc.Record(w, app, opts...)
 	case "replay":
 		var rep *cdc.ReplayReport
-		rep, err = cdc.Replay(w, *dir, app, cdc.WithApp("mcb"), cdc.WithObs(reg))
+		rep, err = cdc.Replay(w, app, cdc.WithDir(*dir), cdc.WithApp("mcb"), cdc.WithObs(reg))
 		if err == nil {
 			if live, notes := rep.Live(); live {
 				fmt.Println("replayed the salvaged record to its crash frontier; execution continued live:")

@@ -31,6 +31,7 @@ func main() {
 	work := flag.Int("work", 200, "per-task compute scale")
 	mode := flag.String("mode", "plain", "plain|record|replay")
 	dir := flag.String("dir", "", "record directory (required for record/replay)")
+	layout := flag.String("layout", "dir", "storage layout for record mode: dir|sharded (replay reads it from the manifest)")
 	seed := flag.Int64("seed", 0, "network noise seed")
 	httpAddr := flag.String("http", "", "serve live pipeline metrics and pprof on this address (e.g. :6060)")
 	flag.Parse()
@@ -73,7 +74,9 @@ func main() {
 	case "plain":
 		err = w.RunRanked(app)
 	case "record":
-		_, err = cdc.Record(w, *dir, app,
+		_, err = cdc.Record(w, app,
+			cdc.WithDir(*dir),
+			cdc.WithStoreLayout(*layout),
 			cdc.WithApp("taskfarm"),
 			cdc.WithParams(map[string]string{
 				"tasks": fmt.Sprint(*tasks),
@@ -82,7 +85,7 @@ func main() {
 			cdc.WithObs(reg))
 	case "replay":
 		var rep *cdc.ReplayReport
-		rep, err = cdc.Replay(w, *dir, app, cdc.WithApp("taskfarm"), cdc.WithObs(reg))
+		rep, err = cdc.Replay(w, app, cdc.WithDir(*dir), cdc.WithApp("taskfarm"), cdc.WithObs(reg))
 		if err == nil {
 			if live, notes := rep.Live(); live {
 				for _, n := range notes {

@@ -5,8 +5,8 @@
 // records an MCB run under a fault plan that kills one rank mid-flight,
 // abandons the recorders the way a dying process would, then:
 //
-//  1. shows that Open refuses the torn directory (ErrIncomplete),
-//  2. salvages a crash-consistent prefix with recorddir.Salvage,
+//  1. shows that opening the torn run for replay is refused (ErrIncomplete),
+//  2. salvages a crash-consistent prefix in place via the run's Store,
 //  3. replays the salvaged record on a different network; each rank
 //     replays deterministically up to the crash frontier and then hands
 //     execution back to live non-deterministic mode, so the application
@@ -31,8 +31,9 @@ import (
 	"cdcreplay/internal/lamport"
 	"cdcreplay/internal/mcb"
 	"cdcreplay/internal/record"
-	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 )
 
 const ranks = 4
@@ -46,41 +47,41 @@ func main() {
 	}
 	defer os.RemoveAll(tmp)
 	recDir := tmp + "/record"
-	salvDir := tmp + "/salvaged"
 
 	// ---- Record under a fault plan that kills rank 2 mid-run. ----
 	plan := &simmpi.FaultPlan{KillRank: 2, KillAfterReceives: 120}
 	fmt.Printf("recording MCB on %d ranks; fault plan kills rank %d after %d receives\n",
 		ranks, plan.KillRank, plan.KillAfterReceives)
 
-	if err := recorddir.Create(recDir, recorddir.Manifest{Ranks: ranks, App: "mcb"}); err != nil {
+	st := dirstore.New(recDir)
+	if err := st.Create(store.Manifest{Ranks: ranks, App: "mcb"}); err != nil {
 		log.Fatal(err)
 	}
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: 3, MaxJitter: 8, Faults: plan})
 	var mu sync.Mutex
 	crashed := 0
 	err = w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		f, err := recorddir.CreateRankFile(recDir, rank)
+		bw, err := st.CreateRank(rank)
 		if err != nil {
 			return err
 		}
-		enc, err := core.NewEncoder(f, core.EncoderOptions{Durable: true})
+		enc, err := core.NewEncoder(bw, core.EncoderOptions{Durable: true})
 		if err != nil {
-			f.Close()
+			bw.Close()
 			return err
 		}
 		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), record.Options{FlushEveryRows: 24})
 		_, rerr := mcb.Run(rec, params)
 		if rerr == nil {
 			rerr = rec.Close()
-			f.Close()
+			bw.Close()
 			return rerr
 		}
 		// The run died. A real process would simply vanish; Abandon models
 		// that — the recorder's queue is dropped and the backend is never
 		// closed, so the file ends wherever the last durable flush left it.
 		rec.Abandon()
-		f.Close()
+		bw.Close()
 		if errors.Is(rerr, simmpi.ErrKilled) || errors.Is(rerr, simmpi.ErrAborted) {
 			mu.Lock()
 			crashed++
@@ -95,14 +96,14 @@ func main() {
 	fmt.Printf("run crashed as planned: %d/%d ranks unwound without closing their records\n\n", crashed, ranks)
 
 	// ---- The torn directory is refused up front. ----
-	if _, err := recorddir.Open(recDir, "mcb", ranks); errors.Is(err, recorddir.ErrIncomplete) {
+	if _, err := store.Open(st, "mcb", ranks); errors.Is(err, store.ErrIncomplete) {
 		fmt.Printf("replaying it directly is refused: %v\n\n", err)
 	} else {
 		log.Fatalf("expected ErrIncomplete opening the crashed record, got %v", err)
 	}
 
-	// ---- Salvage a crash-consistent prefix. ----
-	report, err := recorddir.Salvage(recDir, salvDir)
+	// ---- Salvage a crash-consistent prefix, in place. ----
+	report, err := st.Salvage()
 	if err != nil {
 		log.Fatalf("salvage: %v", err)
 	}
@@ -128,7 +129,7 @@ func main() {
 	// rank's crash frontier.
 	w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: 99, MaxJitter: 8})
 	var tally float64
-	rrep, err := cdc.Replay(w2, salvDir, func(rank int, mpi simmpi.MPI) error {
+	rrep, err := cdc.Replay(w2, func(rank int, mpi simmpi.MPI) error {
 		res, err := mcb.Run(mpi, params)
 		if err != nil {
 			return err
@@ -139,7 +140,7 @@ func main() {
 			mu.Unlock()
 		}
 		return nil
-	}, cdc.WithApp("mcb"))
+	}, cdc.WithDir(recDir), cdc.WithApp("mcb"))
 	if err != nil {
 		log.Fatalf("replay run: %v", err)
 	}

@@ -82,7 +82,7 @@ func runRecorded(dir string, seed int64) (runOutcome, error) {
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
 	var out runOutcome
 	var mu sync.Mutex
-	_, err := cdc.Record(w, dir, appUnderStudy(&out, &mu), cdc.WithApp("heisenbug"))
+	_, err := cdc.Record(w, appUnderStudy(&out, &mu), cdc.WithDir(dir), cdc.WithApp("heisenbug"))
 	return out, err
 }
 
@@ -90,7 +90,7 @@ func replayRecorded(dir string, seed int64) (runOutcome, error) {
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 10})
 	var out runOutcome
 	var mu sync.Mutex
-	_, err := cdc.Replay(w, dir, appUnderStudy(&out, &mu), cdc.WithApp("heisenbug"))
+	_, err := cdc.Replay(w, appUnderStudy(&out, &mu), cdc.WithDir(dir), cdc.WithApp("heisenbug"))
 	return out, err
 }
 

@@ -30,8 +30,9 @@ import (
 	"cdcreplay/internal/jacobi"
 	"cdcreplay/internal/lamport"
 	"cdcreplay/internal/record"
-	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 	"cdcreplay/internal/tables"
 )
 
@@ -49,7 +50,8 @@ func main() {
 
 	// Record with a CDC backend and, over the identical event stream, a
 	// gzip backend for comparison.
-	if err := recorddir.Create(dir, recorddir.Manifest{Ranks: ranks, App: "jacobi"}); err != nil {
+	st := dirstore.New(dir)
+	if err := st.Create(store.Manifest{Ranks: ranks, App: "jacobi"}); err != nil {
 		log.Fatal(err)
 	}
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: 5, MaxJitter: 6})
@@ -58,11 +60,11 @@ func main() {
 	checks := make([]float64, ranks)
 	var mu sync.Mutex
 	err = w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		f, err := recorddir.CreateRankFile(dir, rank)
+		bw, err := st.CreateRank(rank)
 		if err != nil {
 			return err
 		}
-		enc, err := core.NewEncoder(f, core.EncoderOptions{})
+		enc, err := core.NewEncoder(bw, core.EncoderOptions{})
 		if err != nil {
 			return err
 		}
@@ -74,7 +76,7 @@ func main() {
 		if cerr := rec.Close(); rerr == nil {
 			rerr = cerr
 		}
-		if ferr := f.Close(); rerr == nil {
+		if ferr := bw.Close(); rerr == nil {
 			rerr = ferr
 		}
 		if rerr != nil {
@@ -91,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("record run: %v", err)
 	}
-	if err := recorddir.Finalize(dir); err != nil {
+	if err := st.Finalize(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -103,7 +105,7 @@ func main() {
 
 	// Replay to prove the record drives the solver exactly.
 	w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: 77, MaxJitter: 6})
-	_, err = cdc.Replay(w2, dir, func(rank int, mpi simmpi.MPI) error {
+	_, err = cdc.Replay(w2, func(rank int, mpi simmpi.MPI) error {
 		res, err := jacobi.Run(mpi, params)
 		if err != nil {
 			return err
@@ -112,7 +114,7 @@ func main() {
 			return fmt.Errorf("rank %d replay checksum differs", rank)
 		}
 		return nil
-	}, cdc.WithApp("jacobi"))
+	}, cdc.WithDir(dir), cdc.WithApp("jacobi"))
 	if err != nil {
 		log.Fatalf("replay run: %v", err)
 	}

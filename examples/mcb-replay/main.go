@@ -66,7 +66,7 @@ func main() {
 	w := simmpi.NewWorld(ranks, simmpi.Options{Seed: 3, MaxJitter: 8})
 	var recTally float64
 	var mu sync.Mutex
-	report, err := cdc.Record(w, dir, func(rank int, mpi simmpi.MPI) error {
+	report, err := cdc.Record(w, func(rank int, mpi simmpi.MPI) error {
 		res, err := mcb.Run(mpi, params)
 		if err != nil {
 			return err
@@ -77,7 +77,7 @@ func main() {
 			mu.Unlock()
 		}
 		return nil
-	}, cdc.WithApp("mcb"))
+	}, cdc.WithDir(dir), cdc.WithApp("mcb"))
 	if err != nil {
 		log.Fatalf("record run: %v", err)
 	}
@@ -94,7 +94,7 @@ func main() {
 	for _, seed := range []int64{50, 51} {
 		w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: seed, MaxJitter: 8})
 		var repTally float64
-		_, err := cdc.Replay(w2, dir, func(rank int, mpi simmpi.MPI) error {
+		_, err := cdc.Replay(w2, func(rank int, mpi simmpi.MPI) error {
 			res, err := mcb.Run(mpi, params)
 			if err != nil {
 				return err
@@ -105,7 +105,7 @@ func main() {
 				mu.Unlock()
 			}
 			return nil
-		}, cdc.WithApp("mcb"))
+		}, cdc.WithDir(dir), cdc.WithApp("mcb"))
 		if err != nil {
 			log.Fatalf("replay run: %v", err)
 		}

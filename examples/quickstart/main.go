@@ -72,7 +72,7 @@ func main() {
 	world := simmpi.NewWorld(ranks, simmpi.Options{Seed: 1, MaxJitter: 10})
 	var recorded []string
 	var mu sync.Mutex
-	report, err := cdc.Record(world, dir, func(rank int, mpi simmpi.MPI) error {
+	report, err := cdc.Record(world, func(rank int, mpi simmpi.MPI) error {
 		order, err := app(mpi)
 		if err != nil {
 			return err
@@ -83,7 +83,7 @@ func main() {
 			mu.Unlock()
 		}
 		return nil
-	}, cdc.WithApp("quickstart"))
+	}, cdc.WithDir(dir), cdc.WithApp("quickstart"))
 	if err != nil {
 		log.Fatalf("record run: %v", err)
 	}
@@ -97,7 +97,7 @@ func main() {
 	// --- Replay on a different network ----------------------------------
 	world2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: 99, MaxJitter: 10})
 	var replayed []string
-	_, err = cdc.Replay(world2, dir, func(rank int, mpi simmpi.MPI) error {
+	_, err = cdc.Replay(world2, func(rank int, mpi simmpi.MPI) error {
 		order, err := app(mpi)
 		if err != nil {
 			return err
@@ -108,7 +108,7 @@ func main() {
 			mu.Unlock()
 		}
 		return nil
-	}, cdc.WithApp("quickstart"))
+	}, cdc.WithDir(dir), cdc.WithApp("quickstart"))
 	if err != nil {
 		log.Fatalf("replay run: %v", err)
 	}

@@ -97,6 +97,21 @@ type EncoderOptions struct {
 	// flush-point marks stay monotone across the resume boundary.
 	Resume      bool
 	ResumeClock uint64
+	// SeekableCuts closes the gzip member at every flush-point mark and
+	// opens a fresh one, so the byte offset after each mark is a gzip
+	// member boundary — a random-access decode point (gzip readers
+	// concatenate members transparently, so sequential decode is
+	// unchanged). Costs a member trailer+header (~30 bytes) and a
+	// compression-dictionary reset per cut; seekable storage backends
+	// turn it on, the byte-compatible dir layout leaves it off.
+	SeekableCuts bool
+	// OnFlushPoint, when non-nil, is invoked after each flush-point mark
+	// reaches the underlying writer (FlushAll rounds that wrote a mark,
+	// and Close's final mark) with the writer-relative cut: the mark's
+	// clock, cumulative matched events, and compressed bytes emitted.
+	// Storage backends hang their epoch-index commit on it. It runs on
+	// the encoder's goroutine; an error fails the flush.
+	OnFlushPoint func(clock, events uint64, offset int64) error
 }
 
 func (o *EncoderOptions) fill() {
@@ -165,6 +180,9 @@ type FrameWriter struct {
 	sync    Syncer // non-nil when durable and the writer can fsync
 	scratch []byte
 	closed  bool
+	// seekable ends the gzip member at every FlushPoint (see
+	// EncoderOptions.SeekableCuts).
+	seekable bool
 }
 
 // NewFrameWriter writes the magic and opens the gzip stream. With durable
@@ -244,12 +262,44 @@ func (fw *FrameWriter) Flush() error {
 
 // FlushPoint marks a consistent cut — a flush-point frame carrying the
 // writer's clock, followed by a Flush — after which everything written so
-// far is salvageable as a unit.
+// far is salvageable as a unit. With SetSeekableCuts the member is closed
+// instead of sync-flushed, leaving BytesWritten on a member boundary.
 func (fw *FrameWriter) FlushPoint(clock uint64) error {
 	if err := fw.WriteFrame(frameFlush, varint.AppendUint(nil, clock)); err != nil {
 		return err
 	}
+	if fw.seekable {
+		return fw.endMember()
+	}
 	return fw.Flush()
+}
+
+// SetSeekableCuts makes every subsequent FlushPoint end the gzip member
+// (see EncoderOptions.SeekableCuts). Call before the first FlushPoint.
+func (fw *FrameWriter) SetSeekableCuts(on bool) { fw.seekable = on }
+
+// endMember finalizes the current gzip member and opens a fresh one, so
+// the bytes emitted so far end on a member boundary — a decode point a
+// reader can seek straight to. The fsync (when durable) happens after the
+// member trailer is out, like Flush's.
+func (fw *FrameWriter) endMember() error {
+	if err := fw.zw.Close(); err != nil {
+		return err
+	}
+	putGzipWriter(fw.level, fw.zw)
+	zw, err := getGzipWriter(fw.cw, fw.level)
+	if err != nil {
+		// No writer to continue on; latch closed so a later WriteFrame
+		// fails loudly instead of dereferencing nil.
+		fw.zw = nil
+		fw.closed = true
+		return err
+	}
+	fw.zw = zw
+	if fw.sync != nil {
+		return fw.sync.Sync()
+	}
+	return nil
 }
 
 // Close writes a final flush-point frame carrying clock, finalizes the gzip
@@ -340,6 +390,7 @@ func NewEncoder(w io.Writer, opts EncoderOptions) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
+	fw.SetSeekableCuts(opts.SeekableCuts)
 	e := &Encoder{
 		opts:    opts,
 		fw:      fw,
@@ -509,7 +560,10 @@ func (e *Encoder) FlushAll(clock uint64) error {
 			j.kind = jobFlushPoint
 			j.clock = e.clock
 		}
-		return e.pipe.run(j)
+		if err := e.pipe.run(j); err != nil || skipped {
+			return err
+		}
+		return e.notifyFlushPoint()
 	}
 	if skipped {
 		err := e.fw.Flush()
@@ -519,7 +573,21 @@ func (e *Encoder) FlushAll(clock uint64) error {
 	e.stats.FlushPoints++
 	err := e.fw.FlushPoint(e.clock)
 	e.reportGzipBytes()
-	return err
+	if err != nil {
+		return err
+	}
+	return e.notifyFlushPoint()
+}
+
+// notifyFlushPoint invokes the OnFlushPoint commit hook after a mark
+// reached the underlying writer. Safe in parallel mode too: run(j) only
+// returns after the committer executed the mark, so the FrameWriter is
+// quiescent and BytesWritten is exact.
+func (e *Encoder) notifyFlushPoint() error {
+	if e.opts.OnFlushPoint == nil {
+		return nil
+	}
+	return e.opts.OnFlushPoint(e.clock, e.stats.MatchedEvents, e.fw.BytesWritten())
 }
 
 // Close flushes every pending stream and finalizes the gzip stream (whose
@@ -540,7 +608,10 @@ func (e *Encoder) Close() error {
 	e.stats.FlushPoints++
 	err := e.fw.Close(e.clock)
 	e.reportGzipBytes()
-	return err
+	if err != nil {
+		return err
+	}
+	return e.notifyFlushPoint()
 }
 
 // reportGzipBytes adds the not-yet-reported compressed output to the
@@ -593,22 +664,36 @@ func (r *Record) Callsites() []uint64 {
 // drain-everything wrapper over OpenRecord; callers with memory constraints
 // iterate the RecordIter (or FrameReader) directly.
 func ReadRecord(rd io.Reader) (*Record, error) {
-	it, err := OpenRecord(rd)
+	rec, err := ReadRecordPrefix(rd)
 	if err != nil {
 		return nil, err
 	}
-	defer it.Close() //cdc:allow(errsink) read-side close; decode and checksum errors surface from Next
+	return rec, nil
+}
+
+// ReadRecordPrefix decodes like ReadRecord but keeps what it verified: on
+// a damaged or truncated stream the CRC-valid prefix record is returned
+// alongside the error (a *TruncatedRecordError for truncation), instead of
+// being discarded. Storage backends use it to read a live run's blob
+// pinned at a committed cut, where running out of bytes mid-frame is the
+// pin boundary, not damage.
+func ReadRecordPrefix(rd io.Reader) (*Record, error) {
 	rec := &Record{
 		Chunks: make(map[uint64][]*cdcformat.Chunk),
 	}
+	it, err := OpenRecord(rd)
+	if err != nil {
+		return rec, err
+	}
+	defer it.Close() //cdc:allow(errsink) read-side close; decode and checksum errors surface from Next
 	for {
 		f, err := it.Next()
+		rec.Names = it.Names()
 		if err == io.EOF {
-			rec.Names = it.Names()
 			return rec, nil
 		}
 		if err != nil {
-			return nil, err
+			return rec, err
 		}
 		if f.Chunk != nil {
 			rec.Chunks[f.Chunk.Callsite] = append(rec.Chunks[f.Chunk.Callsite], f.Chunk)

@@ -332,5 +332,8 @@ func (e *Encoder) closeParallel() error {
 	if flushErr != nil {
 		return flushErr
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return e.notifyFlushPoint()
 }

@@ -100,6 +100,31 @@ func NewFrameReader(rd io.Reader) (*FrameReader, error) {
 	return &FrameReader{zr: zr, br: bufio.NewReader(zr)}, nil
 }
 
+// NewFrameReaderAt opens a frame stream positioned mid-blob, at a gzip
+// member boundary — the committed index offsets of a record written with
+// EncoderOptions.SeekableCuts. No magic is expected: rd must start exactly
+// on the boundary (offset zero of a record file has the magic in the way;
+// use NewFrameReader there). Callsite-name frames before the seek point
+// are not replayed, so names resolve only for callsites registered at or
+// after it.
+func NewFrameReaderAt(rd io.Reader) (*FrameReader, error) {
+	zr, err := gzip.NewReader(rd)
+	if err != nil {
+		return nil, &TruncatedRecordError{Cause: fmt.Errorf("core: opening gzip member: %w", noEOF(err))}
+	}
+	return &FrameReader{zr: zr, br: bufio.NewReader(zr)}, nil
+}
+
+// OpenRecordAt is NewFrameReaderAt's RecordIter form: a streaming iterator
+// over the frames from a mid-blob gzip member boundary onward.
+func OpenRecordAt(rd io.Reader) (*RecordIter, error) {
+	fr, err := NewFrameReaderAt(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordIter{fr: fr, names: make(map[uint64]string)}, nil
+}
+
 // Frames reports the number of CRC-verified frames returned so far.
 func (fr *FrameReader) Frames() uint64 { return fr.frames }
 

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"net"
 	"os"
-	"path/filepath"
 	"time"
 
 	"cdcreplay/internal/ingestclient"
@@ -13,7 +12,8 @@ import (
 	"cdcreplay/internal/ingestwire"
 	"cdcreplay/internal/netfault"
 	"cdcreplay/internal/obs"
-	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 	"cdcreplay/internal/workload"
 )
 
@@ -188,11 +188,14 @@ func checkIngestOnce(cfg IngestConfig, seed int64) (uint64, error) {
 		return c.Resumes(), fmt.Errorf("close: %w", err)
 	}
 
-	dir := filepath.Join(root, "dst", fmt.Sprintf("p5-%d", seed))
-	if _, err := recorddir.Open(dir, "ingest", 1); err != nil {
+	st, err := dirstore.OpenRoot(root).Open("dst/" + fmt.Sprintf("p5-%d", seed))
+	if err != nil {
 		return c.Resumes(), fmt.Errorf("finalized run: %w", err)
 	}
-	if err := ingestd.VerifyRank(recorddir.RankPath(dir, 0), rows); err != nil {
+	if _, err := store.Open(st, "ingest", 1); err != nil {
+		return c.Resumes(), fmt.Errorf("finalized run: %w", err)
+	}
+	if err := ingestd.VerifyRank(st, 0, rows); err != nil {
 		return c.Resumes(), fmt.Errorf("exactly-once violated: %w", err)
 	}
 	if cfg.Faults > 0 && c.Resumes() == 0 {

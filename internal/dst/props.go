@@ -10,9 +10,10 @@ import (
 	"cdcreplay/internal/core"
 	"cdcreplay/internal/lamport"
 	"cdcreplay/internal/record"
-	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/replay"
 	"cdcreplay/internal/simmpi"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 	"cdcreplay/internal/tables"
 )
 
@@ -391,24 +392,44 @@ func checkDecode(bufs []*bytes.Buffer, rows [][]teeRow, corpus func([]byte)) err
 
 // runCrash executes the P4 experiment for one schedule: record the workload
 // under a fault plan that kills a rank mid-run (crash point derived from
-// the seed), salvage the torn directory, replay the salvaged record on an
+// the seed), salvage the torn run, replay the salvaged record on an
 // unrelated schedule with live handback, and require every rank's replayed
 // order to match the crashed run's observed order through the whole
-// salvaged prefix.
+// salvaged prefix. The harness runs it over a temporary dir-layout store;
+// RunCrashSalvage points the same experiment at any backend.
 func runCrash(p expParams) (decisions, counts []int, verdict error) {
-	app := p.wl.app(p.short, p.seed)
 	dir, err := os.MkdirTemp("", "dst-crash-rec")
 	if err != nil {
 		return nil, nil, fmt.Errorf("P4 crash: %w", err)
 	}
 	defer os.RemoveAll(dir)
-	salv, err := os.MkdirTemp("", "dst-crash-salv")
-	if err != nil {
-		return nil, nil, fmt.Errorf("P4 crash: %w", err)
-	}
-	defer os.RemoveAll(salv)
+	return runCrashStore(p, dirstore.New(dir))
+}
 
-	if err := recorddir.Create(dir, recorddir.Manifest{Ranks: p.ranks, App: "dst-" + p.wl.name}); err != nil {
+// RunCrashSalvage executes one P4 crash-salvage-replay experiment against
+// st: record a workload while a fault plan SIGKILL-equivalently aborts a
+// rank mid-run, salvage the torn run in place through st.Salvage, then
+// replay on an unrelated schedule and require the salvaged prefix to
+// reproduce the crashed run's observed receive order. It is the storage
+// conformance suite's crash-safety probe — any backend whose salvage hook
+// recovers a cross-rank-consistent prefix passes, regardless of layout.
+// The store must be empty; seed varies schedule, traffic, and kill point.
+func RunCrashSalvage(seed int64, st store.Store) error {
+	wl := workloads["exchange"]
+	_, _, verdict := runCrashStore(expParams{
+		wl: wl, ranks: wl.ranks, short: true, seed: seed,
+		policy:   &randomPolicy{rng: newRng(seed)},
+		delivery: deliveryFor("", 0, 0),
+		props:    propSet{p4: true},
+	}, st)
+	return verdict
+}
+
+// runCrashStore is runCrash against an arbitrary storage backend; salvage
+// happens in place through the store's own hook.
+func runCrashStore(p expParams, st store.Store) (decisions, counts []int, verdict error) {
+	app := p.wl.app(p.short, p.seed)
+	if err := st.Create(store.Manifest{Ranks: p.ranks, App: "dst-" + p.wl.name}); err != nil {
 		return nil, nil, fmt.Errorf("P4 crash: %w", err)
 	}
 	plan := &simmpi.FaultPlan{
@@ -419,13 +440,18 @@ func runCrash(p expParams) (decisions, counts []int, verdict error) {
 	wA := simmpi.NewWorld(p.ranks, simmpi.Options{Sequencer: seqA, Delivery: p.delivery, Faults: plan})
 	taps := make([][]rcv, p.ranks)
 	errA := wA.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		f, err := recorddir.CreateRankFile(dir, rank)
+		w, err := st.CreateRank(rank)
 		if err != nil {
 			return err
 		}
-		enc, err := core.NewEncoder(f, core.EncoderOptions{ChunkEvents: 64, Durable: true})
+		enc, err := core.NewEncoder(w, core.EncoderOptions{
+			ChunkEvents: 64, Durable: true, SeekableCuts: st.Seekable(),
+			OnFlushPoint: func(clock, events uint64, offset int64) error {
+				return w.Commit(store.Cut{Clock: clock, Events: events, Offset: offset})
+			},
+		})
 		if err != nil {
-			f.Close()
+			w.Close()
 			return err
 		}
 		tap := &tapLayer{Layer: lamport.Wrap(mpi), log: &taps[rank]}
@@ -433,13 +459,13 @@ func runCrash(p expParams) (decisions, counts []int, verdict error) {
 		aerr := app(rec)
 		if aerr == nil {
 			if cerr := rec.Close(); cerr != nil {
-				f.Close()
+				w.Close()
 				return cerr
 			}
-			return f.Close()
+			return w.Close()
 		}
 		rec.Abandon()
-		f.Close()
+		w.Close()
 		if errors.Is(aerr, simmpi.ErrKilled) || errors.Is(aerr, simmpi.ErrAborted) {
 			return nil
 		}
@@ -458,16 +484,19 @@ func runCrash(p expParams) (decisions, counts []int, verdict error) {
 		return decisions, counts, nil
 	}
 
-	report, err := recorddir.Salvage(dir, salv)
+	report, err := st.Salvage()
 	if err != nil {
 		return decisions, counts, fmt.Errorf("P4 crash: salvage: %w", err)
+	}
+	if report == nil {
+		return decisions, counts, fmt.Errorf("P4 crash: salvage of an aborted run reported nothing to recover")
 	}
 
 	seqB := newSequencer(p.ranks, &randomPolicy{rng: newRng(deriveSeed(p.seed, 3))})
 	wB := simmpi.NewWorld(p.ranks, simmpi.Options{Sequencer: seqB, Delivery: deliveryFor("", 0, 0)})
 	reps := make([][]rcv, p.ranks)
 	errB := wB.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		rec, err := recorddir.LoadRank(salv, rank)
+		rec, err := store.LoadRank(st, rank)
 		if err != nil {
 			return err
 		}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"net"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -14,7 +13,8 @@ import (
 	"cdcreplay/internal/ingestd"
 	"cdcreplay/internal/ingestwire"
 	"cdcreplay/internal/obs"
-	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 	"cdcreplay/internal/workload"
 )
 
@@ -268,12 +268,16 @@ func Ingest(root string, p IngestParams) (*IngestResult, error) {
 	var verifyErr error
 	for i := range sessions {
 		s := &sessions[i]
-		dir := filepath.Join(root, s.tenant, s.run)
-		if _, err := recorddir.Open(dir, "ingest", 1); err != nil {
+		st, err := dirstore.OpenRoot(root).Open(s.tenant + "/" + s.run)
+		if err != nil {
 			verified, verifyErr = false, fmt.Errorf("session %d: %w", i, err)
 			break
 		}
-		if err := ingestd.VerifyRank(recorddir.RankPath(dir, 0), s.rows); err != nil {
+		if _, err := store.Open(st, "ingest", 1); err != nil {
+			verified, verifyErr = false, fmt.Errorf("session %d: %w", i, err)
+			break
+		}
+		if err := ingestd.VerifyRank(st, 0, s.rows); err != nil {
 			verified, verifyErr = false, fmt.Errorf("session %d: %w", i, err)
 			break
 		}

@@ -236,7 +236,8 @@ func Pipeline(cfg Config) (*PipelineResult, error) {
 		}
 		w := simmpi.NewWorld(wl.ranks, simmpi.Options{Seed: cfg.Seed, MaxJitter: 8, Obs: reg})
 		recDir := filepath.Join(dir, wl.name)
-		_, err := cdc.Record(w, recDir, wl.app,
+		_, err := cdc.Record(w, wl.app,
+			cdc.WithDir(recDir),
 			cdc.WithApp(wl.name),
 			cdc.WithObs(reg),
 			cdc.WithFlushEveryRows(wl.flushRows))

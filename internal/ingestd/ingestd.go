@@ -31,17 +31,22 @@ import (
 
 	"cdcreplay/internal/ingestwire"
 	"cdcreplay/internal/obs"
-	"cdcreplay/internal/recorddir"
 	"cdcreplay/internal/spsc"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 )
 
 // Config parameterizes a Server. Zero values take defaults.
 type Config struct {
 	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
 	Addr string
-	// Root is the multi-tenant record root: records land in
-	// Root/<tenant>/<run>/rankNNNN.cdc.
+	// Root is the multi-tenant record root directory; runs land under
+	// Root/<tenant>/<run>/ in the dir layout. Ignored when Store is set.
 	Root string
+	// Store overrides the storage backend: any store.Root (e.g.
+	// shardstore.OpenRoot for the sharded layout, memstore.OpenRoot for
+	// deterministic simulation). Nil means the dir layout under Root.
+	Store store.Root
 	// Workers is the ingest shard count; sessions are assigned
 	// round-robin. Default 4.
 	Workers int
@@ -118,7 +123,8 @@ type Server struct {
 	sessWg   sync.WaitGroup
 	workerWg sync.WaitGroup
 
-	salvaged []recorddir.RunSalvage
+	root     store.Root
+	salvaged []store.RunSalvage
 
 	// pauseWorkers suspends queue draining; the throttle tests use it to
 	// force the bounded queues full.
@@ -136,10 +142,19 @@ type Server struct {
 
 // New prepares a server over the record root, salvaging every run a
 // previous process left incomplete so each rank's on-disk frontier is a
-// consistent, appendable record before any client resumes onto it.
+// consistent, appendable record before any client resumes onto it. Runs
+// whose manifest is unreadable garbage are skipped with a finding (see
+// Salvaged) rather than aborting startup: one damaged tenant directory
+// must not turn into a full-root outage. Real salvage failures still
+// abort — resuming onto an inconsistent frontier would break the
+// exactly-once ack promise.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	salvaged, err := recorddir.SalvageAll(cfg.Root)
+	root := cfg.Store
+	if root == nil {
+		root = dirstore.OpenRoot(cfg.Root)
+	}
+	salvaged, err := root.SalvageAll()
 	if err != nil {
 		return nil, fmt.Errorf("ingestd: salvaging %s: %w", cfg.Root, err)
 	}
@@ -151,6 +166,7 @@ func New(cfg Config) (*Server, error) {
 	reg := cfg.Obs
 	s := &Server{
 		cfg:      cfg,
+		root:     root,
 		runs:     make(map[string]*run),
 		tenants:  make(map[string]*tenantState),
 		sessions: make(map[uint64]*session),
@@ -176,8 +192,9 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Salvaged reports what startup recovery found.
-func (s *Server) Salvaged() []recorddir.RunSalvage { return s.salvaged }
+// Salvaged reports what startup recovery found, including skipped
+// directories (RunSalvage.Skipped with the finding text).
+func (s *Server) Salvaged() []store.RunSalvage { return s.salvaged }
 
 // Start begins listening and serving.
 func (s *Server) Start() error {
@@ -479,11 +496,11 @@ func (s *Server) Kill() {
 	for _, r := range s.runs {
 		r.mu.Lock()
 		for _, rs := range r.rankState {
-			if rs.file != nil {
-				// Close the fd without closing the encoder: buffered,
+			if rs.blob != nil {
+				// Close the blob without closing the encoder: buffered,
 				// unflushed compressed data dies with the process image.
-				rs.file.Close() //cdc:allow(errsink) abrupt teardown is the point
-				rs.file = nil
+				rs.blob.Close() //cdc:allow(errsink) abrupt teardown is the point
+				rs.blob = nil
 				rs.closed = true
 			}
 		}

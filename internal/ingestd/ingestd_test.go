@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"net"
-	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -12,7 +11,8 @@ import (
 	"cdcreplay/internal/ingestclient"
 	"cdcreplay/internal/ingestwire"
 	"cdcreplay/internal/obs"
-	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
 	"cdcreplay/internal/tables"
 	"cdcreplay/internal/workload"
 )
@@ -95,6 +95,20 @@ func clientConfig(addr, tenant, run string, rank, ranks int) ingestclient.Config
 	}
 }
 
+// openRun opens tenant/run under root through the dir-layout store and
+// checks its manifest is complete for the given world size.
+func openRun(t *testing.T, root, tenant, run string, ranks int) store.Store {
+	t.Helper()
+	st, err := dirstore.OpenRoot(root).Open(tenant + "/" + run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(st, "ingest", ranks); err != nil {
+		t.Fatalf("run %s/%s should open complete: %v", tenant, run, err)
+	}
+	return st
+}
+
 func drain(t *testing.T, srv *Server) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -117,15 +131,8 @@ func TestIngestRoundTrip(t *testing.T) {
 		t.Fatalf("Close: %v", err)
 	}
 
-	dir := filepath.Join(srv.cfg.Root, "acme", "run1")
-	m, err := recorddir.Open(dir, "ingest", 1)
-	if err != nil {
-		t.Fatalf("finished run should open complete: %v", err)
-	}
-	if !m.Complete {
-		t.Fatal("manifest not complete after client Close")
-	}
-	if err := VerifyRank(recorddir.RankPath(dir, 0), rows); err != nil {
+	st := openRun(t, srv.cfg.Root, "acme", "run1", 1)
+	if err := VerifyRank(st, 0, rows); err != nil {
 		t.Fatalf("record does not match ingested stream: %v", err)
 	}
 
@@ -182,12 +189,9 @@ func TestIngestMultiTenantMultiRank(t *testing.T) {
 		}
 	}
 	for _, tenant := range []string{"acme", "globex"} {
-		dir := filepath.Join(srv.cfg.Root, tenant, "mr")
-		if _, err := recorddir.Open(dir, "ingest", ranks); err != nil {
-			t.Fatalf("tenant %s: %v", tenant, err)
-		}
+		st := openRun(t, srv.cfg.Root, tenant, "mr", ranks)
 		for rank := 0; rank < ranks; rank++ {
-			if err := VerifyRank(recorddir.RankPath(dir, rank), rows); err != nil {
+			if err := VerifyRank(st, rank, rows); err != nil {
 				t.Fatalf("tenant %s rank %d: %v", tenant, rank, err)
 			}
 		}
@@ -344,8 +348,8 @@ func TestThrottleBackpressure(t *testing.T) {
 	if !throttledOn.Load() {
 		t.Error("client OnThrottle(true) never fired")
 	}
-	dir := filepath.Join(srv.cfg.Root, "acme", "tt")
-	if err := VerifyRank(recorddir.RankPath(dir, 0), rows); err != nil {
+	st := openRun(t, srv.cfg.Root, "acme", "tt", 1)
+	if err := VerifyRank(st, 0, rows); err != nil {
 		t.Fatalf("throttled stream corrupted: %v", err)
 	}
 	drain(t, srv)
@@ -449,11 +453,8 @@ func TestServerKillSalvageResume(t *testing.T) {
 		t.Fatalf("Close after resume: %v", err)
 	}
 
-	dir := filepath.Join(root, "acme", "kr")
-	if _, err := recorddir.Open(dir, "ingest", 1); err != nil {
-		t.Fatalf("resumed run should be complete: %v", err)
-	}
-	if err := VerifyRank(recorddir.RankPath(dir, 0), rows); err != nil {
+	st := openRun(t, root, "acme", "kr", 1)
+	if err := VerifyRank(st, 0, rows); err != nil {
 		t.Fatalf("kill+salvage+resume lost or duplicated events: %v", err)
 	}
 	drain(t, srv2)

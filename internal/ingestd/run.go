@@ -4,14 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
 	"cdcreplay/internal/core"
 	"cdcreplay/internal/ingestwire"
-	"cdcreplay/internal/recorddir"
+	"cdcreplay/internal/store"
 )
 
 // ingestApp is the manifest App stamp for daemon-recorded runs.
@@ -28,7 +26,7 @@ type segment struct {
 	// segment's matched events reference. The segment is acked only once
 	// it sits inside the run's maximal self-consistent cut: every
 	// referenced rank holds a durable cut at or past that clock which
-	// itself survives the cross-rank trim. recorddir.Salvage retains any
+	// itself survives the cross-rank trim. store salvage retains any
 	// self-consistent cut, so an ack is a durable exactly-once promise
 	// even across a daemon crash.
 	maxRef map[int]uint64
@@ -38,7 +36,7 @@ type segment struct {
 // guarded by the owning run's mu.
 type rankState struct {
 	rank int
-	file *os.File
+	blob store.BlobWriter
 	enc  *core.Encoder
 
 	// names tracks callsites registered with THIS encoder instance, so a
@@ -78,11 +76,11 @@ type rankState struct {
 	err          error
 }
 
-// run is one (tenant, run) record directory being ingested.
+// run is one (tenant, run) record store being ingested.
 type run struct {
 	key    string
 	tenant *tenantState
-	dir    string
+	st     store.Store
 	ranks  int
 
 	// mu guards every rankState and the fields below. Coarse per-run
@@ -94,7 +92,7 @@ type run struct {
 	finalized bool
 }
 
-// openRun finds or creates the run's record directory. Called with the
+// openRun finds or creates the run's record store. Called with the
 // server mu held (run creation is rare; steady-state attaches hit the
 // in-memory map first).
 func (s *Server) openRun(tenant *tenantState, h ingestwire.Hello) (*run, *ingestwire.Reject) {
@@ -106,8 +104,11 @@ func (s *Server) openRun(tenant *tenantState, h ingestwire.Hello) (*run, *ingest
 		}
 		return r, nil
 	}
-	dir := filepath.Join(s.cfg.Root, h.Tenant, h.Run)
-	m, err := recorddir.ReadManifest(dir)
+	st, err := s.root.Open(key)
+	if err != nil {
+		return nil, &ingestwire.Reject{Code: ingestwire.RejectMalformed, Msg: err.Error()}
+	}
+	m, err := st.Manifest()
 	switch {
 	case err == nil:
 		if m.Ranks != h.Ranks {
@@ -116,22 +117,22 @@ func (s *Server) openRun(tenant *tenantState, h ingestwire.Hello) (*run, *ingest
 		}
 		// Mark the run in-progress again so a crash mid-append is seen by
 		// the next restart's salvage instead of passing for complete.
-		if _, err := recorddir.Reopen(dir); err != nil {
+		if _, err := st.Reopen(); err != nil {
 			return nil, &ingestwire.Reject{Code: ingestwire.RejectMalformed, Msg: err.Error()}
 		}
 	case errors.Is(err, fs.ErrNotExist):
-		if err := recorddir.Create(dir, recorddir.Manifest{Ranks: h.Ranks, App: ingestApp}); err != nil {
+		if err := st.Create(store.Manifest{Ranks: h.Ranks, App: ingestApp}); err != nil {
 			return nil, &ingestwire.Reject{Code: ingestwire.RejectMalformed, Msg: err.Error()}
 		}
 	default:
 		return nil, &ingestwire.Reject{Code: ingestwire.RejectMalformed, Msg: err.Error()}
 	}
-	r := &run{key: key, tenant: tenant, dir: dir, ranks: h.Ranks, rankState: make(map[int]*rankState)}
+	r := &run{key: key, tenant: tenant, st: st, ranks: h.Ranks, rankState: make(map[int]*rankState)}
 	s.runs[key] = r
 	return r, nil
 }
 
-// openRank finds or opens one rank's record file and encoder. Called with
+// openRank finds or opens one rank's record blob and encoder. Called with
 // the run's mu held.
 func (s *Server) openRank(r *run, rank int) (*rankState, error) {
 	if rs := r.rankState[rank]; rs != nil {
@@ -140,28 +141,35 @@ func (s *Server) openRank(r *run, rank int) (*rankState, error) {
 		}
 		return rs, nil
 	}
-	f, resume, err := recorddir.OpenRankFileAppend(r.dir, rank)
+	w, resume, err := r.st.AppendRank(rank)
 	if err != nil {
 		return nil, err
 	}
 	rs := &rankState{
 		rank:     rank,
-		file:     f,
+		blob:     w,
 		names:    make(map[uint64]bool),
 		midGroup: make(map[uint64]bool),
 		lastSeal: time.Now(),
 	}
 	opts := core.EncoderOptions{
-		ChunkEvents: s.cfg.ChunkEvents,
-		Durable:     s.cfg.Durable,
-		Obs:         s.cfg.Obs,
+		ChunkEvents:  s.cfg.ChunkEvents,
+		Durable:      s.cfg.Durable,
+		Obs:          s.cfg.Obs,
+		SeekableCuts: r.st.Seekable(),
+		// Every durable seal also commits an epoch-index entry into the
+		// manifest, so replay tooling can read the run mid-ingest pinned to
+		// the last committed cut.
+		OnFlushPoint: func(clock, events uint64, offset int64) error {
+			return w.Commit(store.Cut{Clock: clock, Events: events, Offset: offset})
+		},
 	}
 	if resume {
 		// Everything already on disk survived salvage, so it is durable
 		// AND run-consistent: the resumed frontier starts fully acked.
-		events, clock, err := recorddir.RankFrontier(recorddir.RankPath(r.dir, rank))
+		events, clock, err := store.RankFrontier(r.st, rank)
 		if err != nil {
-			f.Close() //cdc:allow(errsink) open failed; best-effort release
+			w.Close() //cdc:allow(errsink) open failed; best-effort release
 			return nil, err
 		}
 		rs.offset, rs.clock = events, clock
@@ -169,9 +177,9 @@ func (s *Server) openRank(r *run, rank int) (*rankState, error) {
 		rs.resumed = true
 		opts.Resume, opts.ResumeClock = true, clock
 	}
-	rs.enc, err = core.NewEncoder(f, opts)
+	rs.enc, err = core.NewEncoder(w, opts)
 	if err != nil {
-		f.Close() //cdc:allow(errsink) open failed; best-effort release
+		w.Close() //cdc:allow(errsink) open failed; best-effort release
 		return nil, err
 	}
 	r.rankState[rank] = rs
@@ -265,8 +273,8 @@ func (r *run) closeRank(rs *rankState) error {
 	if err := r.chargeDisk(rs); err != nil {
 		return err
 	}
-	err := rs.file.Close()
-	rs.file = nil
+	err := rs.blob.Close()
+	rs.blob = nil
 	return err
 }
 
@@ -381,7 +389,7 @@ func (r *run) maybeFinalize() error {
 			return nil
 		}
 	}
-	if err := recorddir.Finalize(r.dir); err != nil {
+	if err := r.st.Finalize(); err != nil {
 		return err
 	}
 	r.finalized = true

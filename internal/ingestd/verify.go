@@ -3,10 +3,10 @@ package ingestd
 import (
 	"fmt"
 	"io"
-	"os"
 
 	"cdcreplay/internal/core"
 	"cdcreplay/internal/ingestwire"
+	"cdcreplay/internal/store"
 	"cdcreplay/internal/tables"
 )
 
@@ -57,13 +57,13 @@ func flattenEvents(evs []tables.Event, into []logicalEvent) []logicalEvent {
 	return into
 }
 
-// VerifyRank checks that the record file at path decodes to EXACTLY the
-// logical events of rows, per callsite and in order — the byte-level CDC
-// encoding round-trips the ingested stream with nothing lost, duplicated,
-// or reordered. This is the loadgen and kill-test oracle: rows is
-// everything the client ever observed, and a daemon that honored its
-// exactly-once ack contract produced a record this function accepts.
-func VerifyRank(path string, rows []ingestwire.Row) error {
+// VerifyRank checks that one rank's record blob in st decodes to EXACTLY
+// the logical events of rows, per callsite and in order — the byte-level
+// CDC encoding round-trips the ingested stream with nothing lost,
+// duplicated, or reordered. This is the loadgen and kill-test oracle:
+// rows is everything the client ever observed, and a daemon that honored
+// its exactly-once ack contract produced a record this function accepts.
+func VerifyRank(st store.Store, rank int, rows []ingestwire.Row) error {
 	expected := make(map[uint64][]logicalEvent)
 	entries := make(map[uint64][]tables.MatchedEntry)
 	names := make(map[uint64]string)
@@ -74,7 +74,7 @@ func VerifyRank(path string, rows []ingestwire.Row) error {
 		}
 	}
 
-	f, err := os.Open(path)
+	f, err := st.OpenRank(rank)
 	if err != nil {
 		return err
 	}
@@ -93,7 +93,7 @@ func VerifyRank(path string, rows []ingestwire.Row) error {
 			break
 		}
 		if err != nil {
-			return fmt.Errorf("decoding %s: %w", path, err)
+			return fmt.Errorf("decoding rank %d: %w", rank, err)
 		}
 		if fr.Chunk == nil {
 			continue

@@ -20,7 +20,7 @@ var ErrsinkAnalyzer = &Analyzer{
 	Scope: []string{
 		"internal/core",
 		"internal/record",
-		"internal/recorddir",
+		"internal/store/...",
 	},
 	Run: runErrsink,
 }

@@ -1,0 +1,228 @@
+// Package dirstore is the store.Store backend for the flat
+// directory-per-run layout: one rankNNNN.cdc file per rank beside
+// manifest.json, byte-compatible with what the pre-Store recorddir
+// package wrote (pinned by TestDirstoreByteCompatGolden). It delegates
+// the byte-level layout to recorddir and adds the Store contract on top:
+// per-epoch index commits into the manifest and epoch-pinned concurrent
+// readers.
+//
+// Cuts are non-seekable here (gzip sync flush, not member boundaries), so
+// the record bytes stay identical to historical records; index offsets
+// still bound pinned reads exactly.
+package dirstore
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/recorddir"
+)
+
+// DirStore is one run in the dir layout. The zero value is unusable; use
+// New. Safe for one writer per rank plus concurrent readers in-process.
+type DirStore struct {
+	dir string
+	// mu serializes the manifest read-modify-write that Commit performs:
+	// rank writers run on their own goroutines but share the one manifest
+	// file.
+	mu sync.Mutex
+}
+
+// New returns the run store rooted at dir. Nothing is touched until
+// Create (recording) or a read method (replay).
+func New(dir string) *DirStore { return &DirStore{dir: dir} }
+
+// Dir exposes the underlying directory for operator-facing messages.
+func (s *DirStore) Dir() string { return s.dir }
+
+// Layout reports store.LayoutDir.
+func (s *DirStore) Layout() string { return store.LayoutDir }
+
+// Seekable reports false: cuts are gzip sync flushes, byte-compatible with
+// pre-Store records, so index offsets are pin bounds but not seek targets.
+func (s *DirStore) Seekable() bool { return false }
+
+// Manifest returns the current manifest.
+func (s *DirStore) Manifest() (store.Manifest, error) {
+	return store.ReadManifestFile(s.dir)
+}
+
+// Create initializes the run directory (see recorddir.Create) and stamps
+// the layout into the manifest.
+func (s *DirStore) Create(m store.Manifest) error {
+	m.Layout = store.LayoutDir
+	m.SeekableCuts = false
+	m.Shards = nil
+	return recorddir.Create(s.dir, m)
+}
+
+// WriteManifest republishes m atomically.
+func (s *DirStore) WriteManifest(m store.Manifest) error {
+	return store.WriteManifestFile(s.dir, m)
+}
+
+// Finalize marks the run complete.
+func (s *DirStore) Finalize() error { return recorddir.Finalize(s.dir) }
+
+// Reopen clears the Complete marker for appending, returning the manifest
+// as it was before.
+func (s *DirStore) Reopen() (store.Manifest, error) { return recorddir.Reopen(s.dir) }
+
+// CreateRank opens rank's record file for writing from scratch.
+func (s *DirStore) CreateRank(rank int) (store.BlobWriter, error) {
+	f, err := recorddir.CreateRankFile(s.dir, rank)
+	if err != nil {
+		return nil, err
+	}
+	return &blobWriter{s: s, f: f, rank: rank}, nil
+}
+
+// AppendRank opens rank's record file for appending, creating it if
+// absent. The writer's commit base is the existing size and the last
+// committed entry's cumulative events, so resumed cuts index the whole
+// blob, not just the new tail.
+func (s *DirStore) AppendRank(rank int) (store.BlobWriter, bool, error) {
+	f, resume, err := recorddir.OpenRankFileAppend(s.dir, rank)
+	if err != nil {
+		return nil, false, err
+	}
+	bw := &blobWriter{s: s, f: f, rank: rank}
+	if resume {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close() //cdc:allow(errsink) best-effort cleanup; the stat error is already propagating
+			return nil, false, err
+		}
+		bw.baseOffset = fi.Size()
+		m, err := s.Manifest()
+		if err != nil {
+			f.Close() //cdc:allow(errsink) best-effort cleanup; the manifest error is already propagating
+			return nil, false, err
+		}
+		bw.baseEvents = m.LastCut(rank).Events
+	}
+	return bw, resume, nil
+}
+
+// OpenRank opens rank's blob for reading, pinned to the last committed
+// index offset when the run is incomplete (the concurrent-reader rule:
+// never hand out bytes past the committed epoch line).
+func (s *DirStore) OpenRank(rank int) (store.BlobReader, error) {
+	m, err := s.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(recorddir.RankPath(s.dir, rank))
+	if err != nil {
+		if !m.Complete && errors.Is(err, fs.ErrNotExist) {
+			// The writer has not created the blob yet; readers of a live
+			// run see the empty committed prefix, not a missing-file error.
+			return store.EmptyBlob(), nil
+		}
+		return nil, err
+	}
+	size := int64(0)
+	if m.Complete {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close() //cdc:allow(errsink) best-effort cleanup; the stat error is already propagating
+			return nil, err
+		}
+		size = fi.Size()
+	} else {
+		size = m.LastCut(rank).Offset
+	}
+	return &fileBlob{SectionReader: io.NewSectionReader(f, 0, size), f: f}, nil
+}
+
+// RawRank opens rank's full blob, torn tail included (the salvage and
+// frontier-scan view). A rank that never wrote yields fs.ErrNotExist.
+func (s *DirStore) RawRank(rank int) (store.BlobReader, error) {
+	f, err := os.Open(recorddir.RankPath(s.dir, rank))
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close() //cdc:allow(errsink) best-effort cleanup; the stat error is already propagating
+		return nil, err
+	}
+	return &fileBlob{SectionReader: io.NewSectionReader(f, 0, fi.Size()), f: f}, nil
+}
+
+// Salvage recovers the run in place with recorddir's crash-safe sibling
+// swap. Complete runs are untouched (nil report); the salvaged manifest
+// carries a rebuilt single-cut index per rank.
+func (s *DirStore) Salvage() (*store.SalvageReport, error) {
+	return recorddir.SalvageInPlace(s.dir)
+}
+
+// commit appends one absolute index entry and republishes the manifest.
+func (s *DirStore) commit(rank int, e store.IndexEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := store.ReadManifestFile(s.dir)
+	if err != nil {
+		return err
+	}
+	m.AppendIndex(rank, e)
+	return store.WriteManifestFile(s.dir, m)
+}
+
+// blobWriter is one rank's append stream: writes go straight to the file,
+// Commit translates the encoder's writer-relative cut to blob-absolute
+// coordinates and publishes it.
+type blobWriter struct {
+	s          *DirStore
+	f          *os.File
+	rank       int
+	baseOffset int64
+	baseEvents uint64
+}
+
+func (w *blobWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w *blobWriter) Sync() error                 { return w.f.Sync() }
+func (w *blobWriter) Close() error                { return w.f.Close() }
+
+func (w *blobWriter) Commit(cut store.Cut) error {
+	return w.s.commit(w.rank, store.IndexEntry{
+		Clock:  cut.Clock,
+		Events: w.baseEvents + cut.Events,
+		Offset: w.baseOffset + cut.Offset,
+	})
+}
+
+// fileBlob is a (possibly pinned) read view of one rank file.
+type fileBlob struct {
+	*io.SectionReader
+	f *os.File
+}
+
+func (b *fileBlob) Close() error { return b.f.Close() }
+
+var _ store.Store = (*DirStore)(nil)
+
+// Root is a multi-run dir-layout store (the ingest daemon's record root).
+type Root struct{ root string }
+
+// OpenRoot returns the multi-run store rooted at root. A missing root is
+// an empty store.
+func OpenRoot(root string) *Root { return &Root{root: root} }
+
+// Open returns the run store at name (slash-separated, e.g. tenant/run).
+func (r *Root) Open(name string) (store.Store, error) {
+	return New(filepath.Join(r.root, filepath.FromSlash(name))), nil
+}
+
+// SalvageAll recovers every incomplete run under the root in place (see
+// recorddir.SalvageAll — garbage manifests are skipped with a finding).
+func (r *Root) SalvageAll() ([]store.RunSalvage, error) {
+	return recorddir.SalvageAll(r.root)
+}
+
+var _ store.Root = (*Root)(nil)

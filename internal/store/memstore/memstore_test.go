@@ -1,0 +1,15 @@
+package memstore_test
+
+import (
+	"testing"
+
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/memstore"
+	"cdcreplay/internal/store/storetest"
+)
+
+func TestMemstoreConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		return memstore.New()
+	})
+}

@@ -1,0 +1,81 @@
+package recorddir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"cdcreplay/internal/store"
+)
+
+// SalvageReport describes what Salvage recovered (the store type).
+type SalvageReport = store.SalvageReport
+
+// RankSalvage describes one rank's salvage outcome (the store type).
+type RankSalvage = store.RankSalvage
+
+// Salvage recovers a replayable prefix from the record directory of a
+// crashed run. The segment scan and the cross-rank fixed-point trim are
+// store.PlanSalvage (see its package comment for the frontier math); this
+// function owns the directory byte movement: re-emitting kept frames into
+// outDir's rank files and publishing the salvaged manifest with Complete
+// and Salvaged set and the chunk index rebuilt as one final cut per rank.
+// Replayers see Salvaged and switch to replay-to-crash-point mode.
+func Salvage(dir, outDir string) (*SalvageReport, error) {
+	if dir == outDir {
+		return nil, errors.New("recorddir: salvage output must be a different directory")
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := store.PlanSalvage(m, func(rank int) (io.ReadCloser, error) {
+		return os.Open(RankPath(dir, rank))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Write the salvaged directory (Create drops any stale index).
+	if err := Create(outDir, m); err != nil {
+		return nil, err
+	}
+	m, err = readManifest(outDir)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < m.Ranks; r++ {
+		size, lastClock, err := writeRankPrefix(outDir, r, plan.Keep[r])
+		if err != nil {
+			return nil, fmt.Errorf("recorddir: writing salvaged rank %d: %w", r, err)
+		}
+		m.AppendIndex(r, store.IndexEntry{
+			Clock:  lastClock,
+			Events: plan.Report.Ranks[r].EventsKept,
+			Offset: size,
+		})
+	}
+	m.Complete = true
+	m.Salvaged = true
+	if err := writeManifest(outDir, m); err != nil {
+		return nil, err
+	}
+	return plan.Report, nil
+}
+
+// writeRankPrefix re-emits the kept frames verbatim into a fresh record
+// file (re-framed, so the new file is itself cleanly closed), reporting
+// its size and closing clock for the rebuilt index.
+func writeRankPrefix(dir string, rank int, segs []*store.Segment) (size int64, lastClock uint64, err error) {
+	f, err := CreateRankFile(dir, rank)
+	if err != nil {
+		return 0, 0, err
+	}
+	size, lastClock, err = store.WriteSegments(f, segs)
+	if err != nil {
+		f.Close() //cdc:allow(errsink) best-effort cleanup; the frame-write error is already propagating
+		return size, lastClock, err
+	}
+	return size, lastClock, f.Close()
+}

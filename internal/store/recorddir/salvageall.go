@@ -1,0 +1,166 @@
+package recorddir
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/store"
+)
+
+// RunSalvage is one run directory's outcome from SalvageAll (the store
+// type).
+type RunSalvage = store.RunSalvage
+
+// SalvageAll walks a multi-tenant record root (any directory tree holding
+// record directories, e.g. root/tenant/run) and recovers every run left
+// incomplete by a crash, in place. Complete runs are left untouched; runs
+// whose manifest is unreadable garbage are skipped with a finding (one
+// damaged tenant must not block the sweep — see RunSalvage.Skipped). The
+// in-place swap is itself crash-safe:
+//
+//  1. the salvaged prefix is written to <run>.salvaged (a stale one from an
+//     earlier interrupted recovery is removed first),
+//  2. the damaged run directory is removed,
+//  3. <run>.salvaged is renamed over the run's path.
+//
+// A crash between steps 2 and 3 leaves only <run>.salvaged; the next
+// SalvageAll adopts it by finishing the rename. A crash before step 2
+// leaves the damaged run intact and the half-written salvage output is
+// discarded and redone. Results are sorted by Dir so the report order is
+// deterministic regardless of filesystem walk order.
+func SalvageAll(root string) ([]RunSalvage, error) {
+	dirs, orphans, err := store.FindRuns(root)
+	if err != nil {
+		return nil, err
+	}
+	var out []RunSalvage
+	// Adopt finished-but-unrenamed salvages from a previous crashed
+	// recovery before scanning run dirs, so the adopted run is then seen
+	// (and skipped) as complete.
+	for _, tmp := range orphans {
+		dst := strings.TrimSuffix(tmp, store.SalvageTmpSuffix)
+		rs := RunSalvage{Dir: store.RelOrSelf(root, dst), Adopted: true}
+		if rs.Err = os.Rename(tmp, dst); rs.Err == nil {
+			dirs = append(dirs, dst)
+		}
+		out = append(out, rs)
+	}
+	seen := make(map[string]bool, len(dirs))
+	for _, dir := range dirs {
+		if seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		rs := salvageRun(root, dir)
+		if rs != nil {
+			out = append(out, *rs)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+// salvageRun recovers one run directory if needed; nil means it was
+// complete and untouched. An unreadable-garbage manifest yields a skip
+// finding, not an error: the directory plainly is not a healthy run, but
+// refusing to start the daemon over it would turn one damaged tenant into
+// a full-root outage.
+func salvageRun(root, dir string) *RunSalvage {
+	rs := &RunSalvage{Dir: store.RelOrSelf(root, dir)}
+	m, err := readManifest(dir)
+	if err != nil {
+		if errors.Is(err, store.ErrBadManifest) {
+			rs.Skipped = true
+			rs.Finding = err.Error()
+			return rs
+		}
+		rs.Err = err
+		return rs
+	}
+	if m.Complete {
+		return nil
+	}
+	tmp := dir + store.SalvageTmpSuffix
+	if err := os.RemoveAll(tmp); err != nil {
+		rs.Err = err
+		return rs
+	}
+	report, err := Salvage(dir, tmp)
+	if err != nil {
+		rs.Err = fmt.Errorf("recorddir: salvaging %s: %w", dir, err)
+		return rs
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		rs.Err = err
+		return rs
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		rs.Err = err
+		return rs
+	}
+	rs.Salvaged = true
+	rs.Report = report
+	return rs
+}
+
+// SalvageInPlace recovers one run directory with the same crash-safe
+// sibling-swap SalvageAll uses, without walking a root. Complete runs are
+// left untouched (nil report); unreadable-garbage manifests surface their
+// ErrBadManifest error — a single-run caller asked for this directory
+// specifically, so there is nothing to sweep past.
+func SalvageInPlace(dir string) (*SalvageReport, error) {
+	rs := salvageRun(dir, dir)
+	if rs == nil {
+		return nil, nil
+	}
+	if rs.Skipped {
+		return nil, fmt.Errorf("recorddir: %s", rs.Finding)
+	}
+	return rs.Report, rs.Err
+}
+
+// RankFrontier scans one rank's record file and reports its logical-event
+// frontier: the number of logical events (each matched receive counts one,
+// each unmatched test counts one — an aggregated failed-test row of count
+// n counts n) and the largest flush-mark clock. The ingest daemon states
+// this frontier as the resume offset after a restart: everything the file
+// holds is durable, so a client holding unacked events from that offset on
+// can replay the tail exactly once. A missing file is an empty frontier.
+func RankFrontier(path string) (events, clock uint64, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close() //cdc:allow(errsink) read-side close; scan errors surface from Next
+	it, err := core.OpenRecord(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer it.Close() //cdc:allow(errsink) read-side close; scan errors surface from Next
+	for {
+		fr, err := it.Next()
+		if err == io.EOF {
+			return events, clock, nil
+		}
+		if err != nil {
+			return events, clock, err
+		}
+		if fr.Chunk != nil {
+			events += fr.Chunk.NumMatched
+			for _, run := range fr.Chunk.Unmatched {
+				events += run.Count
+			}
+		}
+		if fr.Flush && fr.FlushClock > clock {
+			clock = fr.FlushClock
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cdcreplay/internal/core"
+	"cdcreplay/internal/store"
 	"cdcreplay/internal/tables"
 )
 
@@ -118,7 +119,7 @@ func TestSalvageAllAdoptsOrphanedSwap(t *testing.T) {
 
 	// Simulate a recovery that crashed between removing the damaged run
 	// and renaming the salvaged copy into place.
-	tmp := dir + salvageTmpSuffix
+	tmp := dir + store.SalvageTmpSuffix
 	if _, err := Salvage(dir, tmp); err != nil {
 		t.Fatal(err)
 	}

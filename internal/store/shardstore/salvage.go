@@ -1,0 +1,157 @@
+package shardstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+
+	"cdcreplay/internal/store"
+)
+
+// Salvage recovers an incomplete run in place to a consistent cross-rank
+// prefix (see store.PlanSalvage): each rank's kept segments are rewritten
+// into a single fresh fragment, the index collapsed to one final cut, and
+// the manifest — new shard map, Complete, Salvaged — published atomically
+// as the commit point. Old fragments are deleted best-effort afterwards;
+// a crash before the manifest swap leaves the damaged run exactly as it
+// was, a crash after it leaves a healthy salvaged run plus leaked files.
+// Complete runs are untouched (nil report).
+func (s *ShardStore) Salvage() (*store.SalvageReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, err := s.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	if m.Complete {
+		return nil, nil
+	}
+	if m.Shards == nil || m.Shards.Fanout <= 0 {
+		return nil, fmt.Errorf("shardstore: %s: manifest has no shard map (layout %q)", s.dir, m.Layout)
+	}
+	plan, err := store.PlanSalvage(m, func(rank int) (io.ReadCloser, error) {
+		rc, err := s.RawRank(rank)
+		if errors.Is(err, fs.ErrNotExist) {
+			// A rank that never opened a fragment is an empty blob, which
+			// PlanSalvage treats as zero segments, same as the dir layout's
+			// missing rank file.
+			return io.NopCloser(&emptyReader{}), nil
+		}
+		return rc, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var old []store.Fragment
+	for len(m.Shards.Ranks) < m.Ranks {
+		m.Shards.Ranks = append(m.Shards.Ranks, nil)
+	}
+	m.Index = nil
+	for r := 0; r < m.Ranks; r++ {
+		old = append(old, m.Shards.Ranks[r]...)
+		f, frag, err := s.newFragment(&m, r)
+		if err != nil {
+			return nil, err
+		}
+		size, lastClock, werr := store.WriteSegments(f, plan.Keep[r])
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return nil, fmt.Errorf("shardstore: rewriting salvaged rank %d: %w", r, werr)
+		}
+		frag.Size = size
+		m.Shards.Ranks[r] = []store.Fragment{frag}
+		m.AppendIndex(r, store.IndexEntry{
+			Clock:  lastClock,
+			Events: plan.Report.Ranks[r].EventsKept,
+			Offset: size,
+		})
+	}
+	m.Complete = true
+	m.Salvaged = true
+	if err := store.WriteManifestFile(s.dir, m); err != nil {
+		return nil, err
+	}
+	s.removeFragments(old)
+	return plan.Report, nil
+}
+
+// emptyReader is an empty blob for ranks with no fragments.
+type emptyReader struct{}
+
+func (*emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// Root is a multi-run sharded-layout store (the ingest daemon's record
+// root with -store sharded).
+type Root struct {
+	root string
+	opts Options
+}
+
+// OpenRoot returns the multi-run store rooted at root. A missing root is
+// an empty store.
+func OpenRoot(root string) *Root { return &Root{root: root} }
+
+// OpenRootWithOptions returns the multi-run store rooted at root with
+// per-run options.
+func OpenRootWithOptions(root string, opts Options) *Root {
+	return &Root{root: root, opts: opts}
+}
+
+// Open returns the run store at name (slash-separated, e.g. tenant/run).
+func (r *Root) Open(name string) (store.Store, error) {
+	return NewWithOptions(joinRun(r.root, name), r.opts), nil
+}
+
+// SalvageAll walks the root and recovers every incomplete sharded run in
+// place. Complete runs are untouched; unreadable-garbage manifests and
+// runs recorded under a different layout are skipped with a finding so one
+// damaged or foreign directory never blocks the sweep.
+func (r *Root) SalvageAll() ([]store.RunSalvage, error) {
+	dirs, _, err := store.FindRuns(r.root)
+	if err != nil {
+		return nil, err
+	}
+	var out []store.RunSalvage
+	for _, dir := range dirs {
+		rs := store.RunSalvage{Dir: store.RelOrSelf(r.root, dir)}
+		m, err := store.ReadManifestFile(dir)
+		switch {
+		case errors.Is(err, store.ErrBadManifest):
+			rs.Skipped = true
+			rs.Finding = err.Error()
+		case err != nil:
+			rs.Err = err
+		case m.Layout != store.LayoutSharded:
+			rs.Skipped = true
+			rs.Finding = fmt.Sprintf("layout %q is not %q; leaving for its own backend", m.Layout, store.LayoutSharded)
+		case m.Complete:
+			continue
+		default:
+			report, err := NewWithOptions(dir, r.opts).Salvage()
+			if err != nil {
+				rs.Err = fmt.Errorf("shardstore: salvaging %s: %w", dir, err)
+			} else {
+				rs.Salvaged = true
+				rs.Report = report
+			}
+		}
+		out = append(out, rs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out, nil
+}
+
+var _ store.Root = (*Root)(nil)
+
+// joinRun maps a slash-separated run name under root.
+func joinRun(root, name string) string {
+	return filepath.Join(root, filepath.FromSlash(name))
+}
