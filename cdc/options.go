@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"cdcreplay/internal/core"
 	"cdcreplay/internal/obs"
 	"cdcreplay/internal/simmpi"
 	"cdcreplay/internal/spsc"
@@ -40,13 +41,18 @@ type sessionMode int
 const (
 	modeRecord sessionMode = iota
 	modeReplay
+	modeRead
 )
 
 func (m sessionMode) String() string {
-	if m == modeRecord {
+	switch m {
+	case modeRecord:
 		return "Record"
+	case modeReplay:
+		return "Replay"
+	default:
+		return "Read"
 	}
-	return "Replay"
 }
 
 // config is the merged, validated option set for one session.
@@ -78,12 +84,21 @@ type config struct {
 	backoff          spsc.Backoff
 	backoffSet       bool
 
+	// Decode side (Replay sessions and record readers).
+	decodeWorkers int
+	prefetch      int
+
 	// Replay side.
 	timeout         time.Duration
 	optimisticDelay time.Duration
 	optimisticSet   bool
 	live            bool
 	onRelease       func(rank int, st simmpi.Status)
+}
+
+// decoderOptions is the decode policy the session's options describe.
+func (c *config) decoderOptions() core.DecoderOptions {
+	return core.DecoderOptions{DecodeWorkers: c.decodeWorkers, Prefetch: c.prefetch, Obs: c.obs}
 }
 
 // Option configures a Record or Replay session. Options are validated when
@@ -106,6 +121,18 @@ func replayOnly(name string, f func(*config) error) Option {
 	return func(c *config) error {
 		if c.mode != modeReplay {
 			return &OptionError{Option: name, Reason: "only valid for Replay sessions, not " + c.mode.String()}
+		}
+		return f(c)
+	}
+}
+
+// decodeSide wraps an option body with a decode-path check: valid for
+// Replay sessions and the record readers (OpenRecord, OpenRankRecord), but
+// not for Record sessions.
+func decodeSide(name string, f func(*config) error) Option {
+	return func(c *config) error {
+		if c.mode == modeRecord {
+			return &OptionError{Option: name, Reason: "only valid for Replay sessions and record readers, not Record"}
 		}
 		return f(c)
 	}
@@ -139,9 +166,13 @@ func newConfig(mode sessionMode, opts []Option) (*config, error) {
 		return nil, &OptionError{Option: "WithStoreLayout",
 			Reason: "requires WithDir to name the run directory the layout applies to"}
 	}
-	if c.store == nil && c.dir == "" {
+	if c.store == nil && c.dir == "" && c.mode != modeRead {
 		return nil, &OptionError{Option: "WithDir",
 			Reason: c.mode.String() + " needs a storage destination: pass WithDir (optionally with WithStoreLayout) or WithStore"}
+	}
+	if c.prefetch > 0 && c.decodeWorkers == 0 {
+		return nil, &OptionError{Option: "WithPrefetch",
+			Reason: "requires WithDecodeWorkers; a serial decode has no prefetch window"}
 	}
 	return c, nil
 }
@@ -366,6 +397,45 @@ func WithQueueBackoff(spinBeforeYield, yieldBeforeNap int, maxNap time.Duration)
 func WithOmitSenderColumn() Option {
 	return recordOnly("WithOmitSenderColumn", func(c *config) error {
 		c.omitSenderColumn = true
+		return nil
+	})
+}
+
+// WithDecodeWorkers fans record decoding — CRC verification and chunk-table
+// decode, plus per-epoch gzip inflation when the store is seekable with a
+// committed chunk index — across n workers, with an ordered delivery stage
+// keeping the frame sequence identical to a serial decode (DESIGN.md §14).
+// During replay the delivery queue doubles as a prefetch window ahead of
+// the replayer's consumption frontier. n = 0 — the default — decodes
+// serially in-line. Valid for Replay sessions and the record readers
+// (OpenRecord, OpenRankRecord).
+func WithDecodeWorkers(n int) Option {
+	return decodeSide("WithDecodeWorkers", func(c *config) error {
+		if n < 0 {
+			return &OptionError{Option: "WithDecodeWorkers", Reason: fmt.Sprintf("worker count must be non-negative, got %d", n)}
+		}
+		if n > 256 {
+			return &OptionError{Option: "WithDecodeWorkers", Reason: fmt.Sprintf("worker count %d exceeds the sanity cap of 256", n)}
+		}
+		c.decodeWorkers = n
+		return nil
+	})
+}
+
+// WithPrefetch bounds the decode pipeline's ordered delivery window: how
+// many decoded units (frames, or whole epochs on a seekable store) may sit
+// verified ahead of the consumer. Larger windows smooth bursty consumers at
+// the cost of memory; the default is 2*DecodeWorkers+4. Requires
+// WithDecodeWorkers — a serial decode has no window.
+func WithPrefetch(n int) Option {
+	return decodeSide("WithPrefetch", func(c *config) error {
+		if n < 1 {
+			return &OptionError{Option: "WithPrefetch", Reason: fmt.Sprintf("prefetch window must be positive, got %d", n)}
+		}
+		if n > 1<<16 {
+			return &OptionError{Option: "WithPrefetch", Reason: fmt.Sprintf("prefetch window %d exceeds the sanity cap of %d", n, 1<<16)}
+		}
+		c.prefetch = n
 		return nil
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"cdcreplay/internal/core"
+	"cdcreplay/internal/store"
 )
 
 // ErrTruncatedRecord is the facade's view of core.ErrTruncatedRecord: a
@@ -66,17 +67,36 @@ type RecordReader struct {
 	it *core.RecordIter
 }
 
+// readerConfig validates reader-side options (WithDecodeWorkers,
+// WithPrefetch; record- or replay-session options are rejected) and returns
+// the decode policy they describe.
+func readerConfig(opts []Option) (core.DecoderOptions, error) {
+	cfg, err := newConfig(modeRead, opts)
+	if err != nil {
+		return core.DecoderOptions{}, err
+	}
+	return cfg.decoderOptions(), nil
+}
+
 // OpenRecord opens a raw record file the caller already has a path to
 // (e.g. a file handed to a support engineer) for streaming. Tooling that
 // knows a run directory should use OpenStore + OpenRankRecord instead and
 // never touch layout paths. The returned reader owns the file handle;
 // Close releases both it and the decompressor.
-func OpenRecord(path string) (*RecordReader, error) {
+//
+// Reader-side options apply: WithDecodeWorkers decodes frames on a worker
+// pool with ordered delivery, WithPrefetch bounds its window, and WithObs
+// collects the decode.* instruments.
+func OpenRecord(path string, opts ...Option) (*RecordReader, error) {
+	o, err := readerConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	it, err := core.OpenRecord(f)
+	it, err := core.OpenRecordOptions(f, o)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -88,14 +108,16 @@ func OpenRecord(path string) (*RecordReader, error) {
 // OpenStore) for streaming. On an incomplete run the blob arrives pinned
 // to the last committed epoch line, so a record being written concurrently
 // reads as a stable prefix.
-func OpenRankRecord(st Store, rank int) (*RecordReader, error) {
-	r, err := st.OpenRank(rank)
+//
+// Reader-side options apply, as in OpenRecord; with WithDecodeWorkers on a
+// seekable store the committed epochs are inflated in parallel.
+func OpenRankRecord(st Store, rank int, opts ...Option) (*RecordReader, error) {
+	o, err := readerConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	it, err := core.OpenRecord(r)
+	it, r, err := store.OpenRankIter(st, rank, o)
 	if err != nil {
-		r.Close()
 		return nil, err
 	}
 	return &RecordReader{f: r, it: it}, nil

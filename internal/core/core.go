@@ -661,8 +661,12 @@ func (r *Record) Callsites() []uint64 {
 }
 
 // ReadRecord decodes a complete record file into memory. It is a thin
-// drain-everything wrapper over OpenRecord; callers with memory constraints
-// iterate the RecordIter (or FrameReader) directly.
+// drain-everything wrapper over OpenRecord + DrainRecord.
+//
+// Deprecated: open a streaming RecordIter (OpenRecord or, for a pooled
+// decode, OpenRecordOptions) and iterate it — or DrainRecord it when a
+// materialized *Record is genuinely needed. RecordIter is the canonical
+// decode path; this wrapper exists for callers that predate it.
 func ReadRecord(rd io.Reader) (*Record, error) {
 	rec, err := ReadRecordPrefix(rd)
 	if err != nil {
@@ -677,13 +681,27 @@ func ReadRecord(rd io.Reader) (*Record, error) {
 // being discarded. Storage backends use it to read a live run's blob
 // pinned at a committed cut, where running out of bytes mid-frame is the
 // pin boundary, not damage.
+//
+// Deprecated: open a streaming RecordIter and DrainRecord it; the prefix
+// semantics live there now. This wrapper exists for callers that predate
+// the unified reader.
 func ReadRecordPrefix(rd io.Reader) (*Record, error) {
-	rec := &Record{
-		Chunks: make(map[uint64][]*cdcformat.Chunk),
-	}
 	it, err := OpenRecord(rd)
 	if err != nil {
-		return rec, err
+		return &Record{Chunks: make(map[uint64][]*cdcformat.Chunk)}, err
+	}
+	return DrainRecord(it)
+}
+
+// DrainRecord consumes the iterator's remaining frames into a materialized
+// *Record, closing the iterator. On a damaged or truncated stream the
+// CRC-valid prefix record is returned alongside the error (a
+// *TruncatedRecordError for truncation) — ReadRecordPrefix semantics for
+// any RecordIter, however its frames are decoded (serial, pooled, or
+// segment-parallel).
+func DrainRecord(it *RecordIter) (*Record, error) {
+	rec := &Record{
+		Chunks: make(map[uint64][]*cdcformat.Chunk),
 	}
 	defer it.Close() //cdc:allow(errsink) read-side close; decode and checksum errors surface from Next
 	for {

@@ -122,7 +122,7 @@ func OpenRecordAt(rd io.Reader) (*RecordIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &RecordIter{fr: fr, names: make(map[uint64]string)}, nil
+	return &RecordIter{src: fr, names: make(map[uint64]string)}, nil
 }
 
 // Frames reports the number of CRC-verified frames returned so far.
@@ -156,117 +156,183 @@ func (fr *FrameReader) readUvarint() (uint64, []byte, error) {
 	}
 }
 
-// Next returns the next verified frame, io.EOF at a clean end of stream, or
-// a *TruncatedRecordError where the intact prefix ends.
-func (fr *FrameReader) Next() (*Frame, error) {
-	if fr.err != nil {
-		return nil, fr.err
-	}
+// rawFrame is one frame's undecoded wire form: the framing fields a serial
+// scan must read in stream order, with CRC verification and payload parsing
+// deferred — possibly to a decode worker (decode.go).
+type rawFrame struct {
+	kind     byte
+	lenBytes []byte
+	payload  []byte
+	trailer  [4]byte
+}
+
+// readRaw scans one frame's wire fields off the stream without verifying or
+// parsing them. It returns io.EOF at a clean end of stream; any other error
+// is the undecorated truncation cause (the caller wraps it into a
+// *TruncatedRecordError with its own prefix counts).
+func (fr *FrameReader) readRaw() (rawFrame, error) {
+	var raw rawFrame
 	kind, err := fr.br.ReadByte()
 	if err == io.EOF {
-		fr.err = io.EOF
-		return nil, io.EOF
+		return raw, io.EOF
 	}
 	if err != nil {
-		return nil, fr.fail(fmt.Errorf("core: frame kind: %w", err))
+		return raw, fmt.Errorf("core: frame kind: %w", err)
 	}
+	raw.kind = kind
 	n, lenBytes, err := fr.readUvarint()
 	if err != nil {
-		return nil, fr.fail(fmt.Errorf("core: frame length: %w", noEOF(err)))
+		return raw, fmt.Errorf("core: frame length: %w", noEOF(err))
 	}
+	raw.lenBytes = lenBytes
 	if n > maxFrameLen {
-		return nil, fr.fail(fmt.Errorf("core: frame too large: %d", n))
+		return raw, fmt.Errorf("core: frame too large: %d", n)
 	}
 	// Stream the payload instead of trusting n with one up-front allocation:
 	// a corrupt length field on a short stream then costs only the bytes
 	// actually present, not a maxFrameLen-sized zeroed buffer.
 	var pbuf bytes.Buffer
 	if _, err := io.CopyN(&pbuf, fr.br, int64(n)); err != nil {
-		return nil, fr.fail(fmt.Errorf("core: frame payload: %w", noEOF(err)))
+		return raw, fmt.Errorf("core: frame payload: %w", noEOF(err))
 	}
-	payload := pbuf.Bytes()
-	var trailer [4]byte
-	if _, err := io.ReadFull(fr.br, trailer[:]); err != nil {
-		return nil, fr.fail(fmt.Errorf("core: frame CRC trailer: %w", noEOF(err)))
+	raw.payload = pbuf.Bytes()
+	if _, err := io.ReadFull(fr.br, raw.trailer[:]); err != nil {
+		return raw, fmt.Errorf("core: frame CRC trailer: %w", noEOF(err))
 	}
-	crc := crc32.ChecksumIEEE([]byte{kind})
-	crc = crc32.Update(crc, crc32.IEEETable, lenBytes)
-	crc = crc32.Update(crc, crc32.IEEETable, payload)
-	if want := binary.LittleEndian.Uint32(trailer[:]); crc != want {
-		return nil, fr.fail(fmt.Errorf("core: frame CRC mismatch: computed %08x, stored %08x", crc, want))
+	return raw, nil
+}
+
+// parseFrame verifies raw's CRC trailer and decodes its payload into a
+// Frame. It reads no shared state, so decode workers call it concurrently
+// on raw frames the serial scan produced.
+func parseFrame(raw rawFrame) (*Frame, error) {
+	crc := crc32.ChecksumIEEE([]byte{raw.kind})
+	crc = crc32.Update(crc, crc32.IEEETable, raw.lenBytes)
+	crc = crc32.Update(crc, crc32.IEEETable, raw.payload)
+	if want := binary.LittleEndian.Uint32(raw.trailer[:]); crc != want {
+		return nil, fmt.Errorf("core: frame CRC mismatch: computed %08x, stored %08x", crc, want)
 	}
-	f := &Frame{Kind: kind, Payload: payload}
-	pr := varint.NewReader(payload)
-	switch kind {
+	f := &Frame{Kind: raw.kind, Payload: raw.payload}
+	pr := varint.NewReader(raw.payload)
+	switch raw.kind {
 	case frameChunk:
 		chunk, err := cdcformat.Unmarshal(pr)
 		if err != nil {
-			return nil, fr.fail(err)
+			return nil, err
 		}
 		if pr.Len() != 0 {
-			return nil, fr.fail(fmt.Errorf("core: %d trailing bytes in chunk frame", pr.Len()))
+			return nil, fmt.Errorf("core: %d trailing bytes in chunk frame", pr.Len())
 		}
 		f.Chunk = chunk
-		fr.events += chunk.NumMatched
 	case frameCallsite:
 		id, err := pr.Uint()
 		if err != nil {
-			return nil, fr.fail(fmt.Errorf("core: callsite id: %w", err))
+			return nil, fmt.Errorf("core: callsite id: %w", err)
 		}
 		name, err := pr.Bytes()
 		if err != nil {
-			return nil, fr.fail(fmt.Errorf("core: callsite name: %w", err))
+			return nil, fmt.Errorf("core: callsite name: %w", err)
 		}
 		f.CallsiteID, f.CallsiteName = id, string(name)
 	case frameFlush:
 		clock, err := pr.Uint()
 		if err != nil {
-			return nil, fr.fail(fmt.Errorf("core: flush frame clock: %w", err))
+			return nil, fmt.Errorf("core: flush frame clock: %w", err)
 		}
 		if pr.Len() != 0 {
-			return nil, fr.fail(fmt.Errorf("core: %d trailing bytes in flush frame", pr.Len()))
+			return nil, fmt.Errorf("core: %d trailing bytes in flush frame", pr.Len())
 		}
 		f.Flush = true
 		f.FlushClock = clock
-		fr.flushPoints++
 	default:
-		return nil, fr.fail(fmt.Errorf("core: unknown frame kind %d", kind))
+		return nil, fmt.Errorf("core: unknown frame kind %d", raw.kind)
 	}
-	fr.frames++
 	return f, nil
+}
+
+// Next returns the next verified frame, io.EOF at a clean end of stream, or
+// a *TruncatedRecordError where the intact prefix ends.
+func (fr *FrameReader) Next() (*Frame, error) {
+	if fr.err != nil {
+		return nil, fr.err
+	}
+	raw, err := fr.readRaw()
+	if err == io.EOF {
+		fr.err = io.EOF
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fr.fail(err)
+	}
+	f, err := parseFrame(raw)
+	if err != nil {
+		return nil, fr.fail(err)
+	}
+	fr.count(f)
+	return f, nil
+}
+
+// count folds one delivered frame into the intact-prefix counters.
+func (fr *FrameReader) count(f *Frame) {
+	fr.frames++
+	if f.Chunk != nil {
+		fr.events += f.Chunk.NumMatched
+	}
+	if f.Flush {
+		fr.flushPoints++
+	}
 }
 
 // Close releases the gzip reader. It does not close the underlying reader.
 func (fr *FrameReader) Close() error { return fr.zr.Close() }
 
-// RecordIter is the streaming record-access API: Next yields one verified
-// frame at a time, accumulating callsite names as they stream past, so
-// tooling and replay walk records of any size in bounded memory instead of
-// materializing a *Record. ReadRecord is a thin drain-everything wrapper
-// over it.
+// frameSource is the decode engine behind a RecordIter: the serial
+// FrameReader, or one of the parallel pipelines in decode.go. Whatever the
+// engine, frames arrive in stream order and the counters report the
+// delivered frontier, so a *TruncatedRecordError carries the same
+// intact-prefix counts however many workers ran.
+type frameSource interface {
+	Next() (*Frame, error)
+	Frames() uint64
+	Events() uint64
+	FlushPoints() uint64
+	Close() error
+}
+
+var _ frameSource = (*FrameReader)(nil)
+
+// RecordIter is the one streaming record-access API: Next yields one
+// verified frame at a time, accumulating callsite names as they stream
+// past, so tooling and replay walk records of any size in bounded memory
+// instead of materializing a *Record. Every other reader in the repo —
+// ReadRecord, ReadRecordPrefix, store.LoadRank, the cdc facade's
+// RecordReader — is a thin wrapper over it, and DecoderOptions decides
+// whether the frames behind it are decoded serially or by a worker pool
+// (see OpenRecordOptions).
 //
 // A RecordIter is not safe for concurrent use. Close releases the
 // decompressor but, like FrameReader, does not close the underlying reader.
 type RecordIter struct {
-	fr    *FrameReader
+	src   frameSource
 	names map[uint64]string
 }
 
 // OpenRecord validates the record magic and returns a streaming iterator
-// over its frames.
+// over its frames, decoded serially. For a pooled decode, pass
+// DecoderOptions to OpenRecordOptions instead.
 func OpenRecord(rd io.Reader) (*RecordIter, error) {
 	fr, err := NewFrameReader(rd)
 	if err != nil {
 		return nil, err
 	}
-	return &RecordIter{fr: fr, names: make(map[uint64]string)}, nil
+	return &RecordIter{src: fr, names: make(map[uint64]string)}, nil
 }
 
 // Next returns the next verified frame, io.EOF at a clean end of stream, or
 // a *TruncatedRecordError where the intact prefix ends. Callsite-name
 // frames are returned like any other, after registering in Names.
 func (it *RecordIter) Next() (*Frame, error) {
-	f, err := it.fr.Next()
+	f, err := it.src.Next()
 	if err != nil {
 		return nil, err
 	}
@@ -281,16 +347,17 @@ func (it *RecordIter) Next() (*Frame, error) {
 func (it *RecordIter) Names() map[uint64]string { return it.names }
 
 // Frames reports the number of CRC-verified frames returned so far.
-func (it *RecordIter) Frames() uint64 { return it.fr.Frames() }
+func (it *RecordIter) Frames() uint64 { return it.src.Frames() }
 
 // Events reports the matched receive events in the verified frames so far.
-func (it *RecordIter) Events() uint64 { return it.fr.Events() }
+func (it *RecordIter) Events() uint64 { return it.src.Events() }
 
 // FlushPoints reports the flush-point marks seen so far.
-func (it *RecordIter) FlushPoints() uint64 { return it.fr.FlushPoints() }
+func (it *RecordIter) FlushPoints() uint64 { return it.src.FlushPoints() }
 
-// Close releases the decompressor. It does not close the underlying reader.
-func (it *RecordIter) Close() error { return it.fr.Close() }
+// Close releases the decode engine (for a pooled decode: stops its
+// workers). It does not close the underlying reader.
+func (it *RecordIter) Close() error { return it.src.Close() }
 
 // fail latches the stream as damaged past the current intact prefix.
 func (fr *FrameReader) fail(cause error) error {

@@ -187,6 +187,21 @@ func deriveSeed(seed int64, k uint64) int64 {
 	return int64(mix64(mix64(uint64(seed)^0x6a09e667f3bcc909) + k))
 }
 
+// decodeWorkersFor varies the decode-worker count deterministically per
+// schedule, so the property sweep exercises the serial decoder and several
+// pool widths of the parallel one (frame delivery is pinned identical
+// whatever the width, so properties must hold unchanged).
+func decodeWorkersFor(seed int64, k uint64) int {
+	widths := [...]int{0, 1, 2, 4, 8}
+	return widths[uint64(deriveSeed(seed, k))%uint64(len(widths))]
+}
+
+// readRecord materializes one rank's record through the decode pipeline at
+// the given pool width.
+func readRecord(buf []byte, workers int) (*core.Record, error) {
+	return core.ReadRecordOptions(bytes.NewReader(buf), core.DecoderOptions{DecodeWorkers: workers})
+}
+
 // runOrder executes the order experiment for one schedule: a record phase
 // driven by p.policy, then P1 (replay on a different schedule), P2
 // (re-record during replay, byte compare), and P3 (decode against the
@@ -236,7 +251,7 @@ func runOrder(p expParams) (decisions, counts []int, verdict error) {
 		}
 	}
 	if p.props.p3 {
-		if err := checkDecode(bufs, rows, p.corpus); err != nil {
+		if err := checkDecode(p, bufs, rows); err != nil {
 			return decisions, counts, err
 		}
 	}
@@ -250,19 +265,41 @@ func checkReplayOrder(p expParams, app appFunc, bufs []*bytes.Buffer, taps [][]r
 	w := simmpi.NewWorld(p.ranks, simmpi.Options{Sequencer: seq, Delivery: deliveryFor("", 0, 0)})
 	reps := make([][]rcv, p.ranks)
 	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		rec, err := core.ReadRecord(bytes.NewReader(bufs[rank].Bytes()))
+		// P1 replays through the full streaming stack — prescan pass, then a
+		// chunk feed pulled lazily from the (possibly pooled) decoder — so
+		// the bounded-reorder adversary runs against exactly the machinery
+		// cdc.Replay uses.
+		o := core.DecoderOptions{DecodeWorkers: decodeWorkersFor(p.seed, 11)}
+		scanIt, err := core.OpenRecordOptions(bytes.NewReader(bufs[rank].Bytes()), o)
 		if err != nil {
 			return err
 		}
-		rp := replay.New(lamport.WrapManual(mpi), rec, replay.Options{
+		meta, err := replay.ScanRecord(scanIt)
+		if err != nil {
+			return err
+		}
+		feedIt, err := core.OpenRecordOptions(bytes.NewReader(bufs[rank].Bytes()), o)
+		if err != nil {
+			return err
+		}
+		rp := replay.NewStream(lamport.WrapManual(mpi), meta, replay.IterSource(feedIt), replay.Options{
 			OnRelease: func(st simmpi.Status) {
 				reps[rank] = append(reps[rank], rcv{st.Source, st.Tag, st.Clock})
 			},
 		})
-		if aerr := app(rp); aerr != nil {
+		aerr := app(rp)
+		verr := error(nil)
+		if aerr == nil {
+			verr = rp.Verify()
+		}
+		cerr := rp.Close()
+		if aerr != nil {
 			return aerr
 		}
-		return rp.Verify()
+		if verr != nil {
+			return verr
+		}
+		return cerr
 	})
 	if err != nil {
 		return fmt.Errorf("P1 replay-order: replay run: %w", err)
@@ -292,7 +329,7 @@ func checkReRecord(p expParams, app appFunc, bufs []*bytes.Buffer) error {
 	w := simmpi.NewWorld(p.ranks, simmpi.Options{Sequencer: seq, Delivery: deliveryFor("", 0, 0)})
 	bufs2 := make([]*bytes.Buffer, p.ranks)
 	err := w.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		rec, err := core.ReadRecord(bytes.NewReader(bufs[rank].Bytes()))
+		rec, err := readRecord(bufs[rank].Bytes(), decodeWorkersFor(p.seed, 12))
 		if err != nil {
 			return err
 		}
@@ -331,11 +368,15 @@ func checkReRecord(p expParams, app appFunc, bufs []*bytes.Buffer) error {
 // receive multiset must restore exactly the row stream the recorder
 // emitted — the chunk encoding carries the schedule's order and nothing
 // else leaks in from other schedules sharing the same multiset.
-func checkDecode(bufs []*bytes.Buffer, rows [][]teeRow, corpus func([]byte)) error {
+func checkDecode(p expParams, bufs []*bytes.Buffer, rows [][]teeRow) error {
+	corpus := p.corpus
 	for rank := range bufs {
-		rec, err := core.ReadRecord(bytes.NewReader(bufs[rank].Bytes()))
+		// Each rank decodes at a different seed-derived pool width, so P3
+		// holds across the serial and parallel decoders in one sweep.
+		workers := decodeWorkersFor(p.seed, 13+uint64(rank))
+		rec, err := readRecord(bufs[rank].Bytes(), workers)
 		if err != nil {
-			return fmt.Errorf("P3 decode: rank %d: %w", rank, err)
+			return fmt.Errorf("P3 decode: rank %d (decode workers %d): %w", rank, workers, err)
 		}
 		want := map[uint64][]tables.Event{}
 		for _, row := range rows[rank] {

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/memstore"
+	"cdcreplay/internal/tables"
+	"cdcreplay/internal/workload"
+)
+
+// DecodeWorkerRun is one pool width's measurement: a full decode of every
+// rank's blob through store.OpenRankIter at that width.
+type DecodeWorkerRun struct {
+	// Workers is the decode pool width (0 = the serial FrameReader path).
+	Workers int `json:"workers"`
+	// Ns is the wall-clock time to decode every rank in full.
+	Ns           int64   `json:"ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Digest hashes every delivered frame (kind, payload) in delivery
+	// order across all ranks — identical digests mean identical frame
+	// streams, whatever the pool width.
+	Digest string `json:"digest"`
+	// Speedup is serial time over this run's time (1.0 for the serial row).
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// DecodeBenchResult is the machine-readable BENCH_decode.json payload:
+// the same recorded run decoded serially and at several worker-pool
+// widths, with a digest-identity check pinning byte-equivalent delivery.
+type DecodeBenchResult struct {
+	Seed   int64 `json:"seed"`
+	Full   bool  `json:"full"`
+	Ranks  int   `json:"ranks"`
+	Events int   `json:"events"`
+	Epochs int   `json:"epochs"`
+	// Layout is the backend decoded from; seekable backends give the
+	// pipeline per-epoch segments so workers parallelize the gzip inflate
+	// itself, not just CRC and table decode.
+	Layout   string `json:"layout"`
+	Seekable bool   `json:"seekable"`
+	Bytes    int64  `json:"bytes"`
+	// MaxProcs is runtime.GOMAXPROCS at measurement time. Below 4 the
+	// 4-worker width cannot physically speed up, so consumers should gate
+	// the speedup number only when MaxProcs allows real parallelism.
+	MaxProcs int `json:"maxprocs"`
+	// DigestIdentical reports every width delivered the same frame stream.
+	DigestIdentical bool `json:"digest_identical"`
+	// Speedup4 is the parallel speedup at 4 workers over serial — the
+	// ROADMAP O2 headline (CI gates identity hard and this advisorily).
+	Speedup4 float64           `json:"speedup_at_4_workers"`
+	Runs     []DecodeWorkerRun `json:"runs"`
+}
+
+// Validate checks the capture is usable as a regression gate. Digest
+// identity is mandatory; the speedup magnitude is judged CI-side (runner
+// core counts vary), so here it only has to be measured.
+func (r *DecodeBenchResult) Validate() error {
+	if len(r.Runs) < 5 {
+		return fmt.Errorf("decode: want serial plus four pool widths, have %d runs", len(r.Runs))
+	}
+	if !r.DigestIdentical {
+		return fmt.Errorf("decode: frame-stream digests differ across worker counts")
+	}
+	for _, run := range r.Runs {
+		if run.EventsPerSec <= 0 {
+			return fmt.Errorf("decode: width %d measured no throughput", run.Workers)
+		}
+	}
+	if r.Speedup4 <= 0 {
+		return fmt.Errorf("decode: no 4-worker speedup measured")
+	}
+	return nil
+}
+
+// WriteJSON writes the result to path (indented, trailing newline).
+func (r *DecodeBenchResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// decodeBenchPass decodes every rank in full at one pool width, folding
+// each delivered frame into a digest and counting matched events.
+func decodeBenchPass(st store.Store, ranks, workers int) (digest string, events uint64, err error) {
+	h := sha256.New()
+	var lenBuf [binary.MaxVarintLen64]byte
+	for rank := 0; rank < ranks; rank++ {
+		it, blob, err := store.OpenRankIter(st, rank, core.DecoderOptions{DecodeWorkers: workers})
+		if err != nil {
+			return "", 0, err
+		}
+		for {
+			f, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				it.Close()   //cdc:allow(errsink) best-effort cleanup; the decode error is already propagating
+				blob.Close() //cdc:allow(errsink) best-effort cleanup; the decode error is already propagating
+				return "", 0, err
+			}
+			h.Write([]byte{f.Kind})
+			h.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(f.Payload)))])
+			h.Write(f.Payload)
+			if f.Chunk != nil {
+				events += f.Chunk.NumMatched
+			}
+		}
+		if err := it.Close(); err != nil {
+			blob.Close() //cdc:allow(errsink) best-effort cleanup; the close error is already propagating
+			return "", 0, err
+		}
+		if err := blob.Close(); err != nil {
+			return "", 0, err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), events, nil
+}
+
+// DecodeBench records one multi-rank run into a seekable in-memory store
+// (per-epoch index commits), then decodes it in full at pool widths
+// 0 (serial), 1, 2, 4, and 8 — measuring wall time and pinning the frame
+// stream digest identical across widths. The seekable chunk index is what
+// lets the pooled widths inflate whole epochs concurrently, so this is the
+// paper's decode-side mirror of the encode worker benchmark.
+func DecodeBench(cfg Config) (*DecodeBenchResult, error) {
+	cfg.fill()
+	ranks := 2
+	perRank := cfg.pick(150_000, 600_000)
+	const epochs = 64
+	result := &DecodeBenchResult{
+		Seed:     cfg.Seed,
+		Full:     cfg.Full,
+		Ranks:    ranks,
+		Epochs:   epochs,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	evs := make([][]tables.Event, ranks)
+	for rank := range evs {
+		evs[rank] = workload.Stream(workload.StreamParams{
+			Events: perRank, Senders: 8, Disorder: 5, UnmatchedProb: 0.05,
+			Seed: cfg.Seed + int64(rank)*211,
+		})
+	}
+	st := memstore.New()
+	if _, err := storeBenchRecord(st, evs, epochs); err != nil {
+		return nil, fmt.Errorf("decode: recording: %w", err)
+	}
+	result.Layout = st.Layout()
+	result.Seekable = st.Seekable()
+	m, err := st.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	for rank := 0; rank < ranks; rank++ {
+		if idx := m.RankIndex(rank); len(idx) > 0 {
+			result.Bytes += idx[len(idx)-1].Offset
+		}
+	}
+
+	// Warm pass: fault in the decoded-side pools (gzip readers, jobs) so
+	// the serial baseline isn't flattered by their cold-start cost.
+	if _, _, err := decodeBenchPass(st, ranks, 2); err != nil {
+		return nil, fmt.Errorf("decode: warm pass: %w", err)
+	}
+
+	widths := []int{0, 1, 2, 4, 8}
+	cfg.printf("Decode pipeline: %d ranks x %d events, %d epochs per rank, %s (GOMAXPROCS=%d)\n",
+		ranks, perRank, epochs, human(result.Bytes), result.MaxProcs)
+	cfg.printf("%8s %12s %14s %10s  %s\n", "workers", "decode", "events/s", "speedup", "digest")
+	result.DigestIdentical = true
+	var serialNs int64
+	for _, w := range widths {
+		start := time.Now()
+		digest, events, err := decodeBenchPass(st, ranks, w)
+		if err != nil {
+			return nil, fmt.Errorf("decode: width %d: %w", w, err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		run := DecodeWorkerRun{
+			Workers:      w,
+			Ns:           ns,
+			EventsPerSec: float64(events) / (float64(ns) / 1e9),
+			Digest:       digest,
+		}
+		if result.Events == 0 {
+			result.Events = int(events)
+		}
+		if w == 0 {
+			serialNs = ns
+		}
+		if serialNs > 0 {
+			run.Speedup = float64(serialNs) / float64(ns)
+		}
+		if w == 4 {
+			result.Speedup4 = run.Speedup
+		}
+		if len(result.Runs) > 0 && digest != result.Runs[0].Digest {
+			result.DigestIdentical = false
+		}
+		result.Runs = append(result.Runs, run)
+		cfg.printf("%8d %12s %14.0f %9.2fx  %s\n",
+			w, time.Duration(ns).Round(time.Microsecond), run.EventsPerSec, run.Speedup, digest[:12])
+	}
+	if err := result.Validate(); err != nil {
+		return result, err
+	}
+	return result, nil
+}

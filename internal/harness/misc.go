@@ -196,11 +196,22 @@ func ReplayValidation(cfg Config) (*ReplayResult, error) {
 	}
 	w2 := simmpi.NewWorld(ranks, simmpi.Options{Seed: cfg.Seed + 999, MaxJitter: 8})
 	err = w2.RunRanked(func(rank int, mpi simmpi.MPI) error {
-		recFile, err := core.ReadRecord(bytes.NewReader(files[rank]))
+		// Streaming replay: a prescan pass summarizes the record, then the
+		// replayer pulls chunks lazily — the record is never materialized.
+		scanIt, err := core.OpenRecord(bytes.NewReader(files[rank]))
 		if err != nil {
 			return err
 		}
-		rp := replay.New(lamport.WrapManual(mpi), recFile, replay.Options{})
+		meta, err := replay.ScanRecord(scanIt)
+		if err != nil {
+			return err
+		}
+		feedIt, err := core.OpenRecord(bytes.NewReader(files[rank]))
+		if err != nil {
+			return err
+		}
+		rp := replay.NewStream(lamport.WrapManual(mpi), meta, replay.IterSource(feedIt), replay.Options{})
+		defer rp.Close() //cdc:allow(errsink) in-memory source; decode errors surface during replay
 		r, rerr := mcb.Run(rp, params)
 		if rerr != nil {
 			return fmt.Errorf("rank %d: %w", rank, rerr)

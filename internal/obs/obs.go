@@ -163,6 +163,20 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(uint64(d.Nanoseconds()))
 }
 
+// StartTimer samples the clock and returns a function that records the
+// elapsed nanoseconds when called. On a nil Histogram the clock is never
+// sampled and the returned function is a no-op — which is what lets
+// lint-clean deterministic packages (cdclint nodeterm) time their stages:
+// the wall-clock read lives here, behind the instrument, instead of in the
+// encode/decode path itself.
+func (h *Histogram) StartTimer() func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { h.ObserveDuration(time.Since(start)) }
+}
+
 // Count returns the number of observations (zero for nil).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

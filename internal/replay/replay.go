@@ -45,6 +45,7 @@ package replay
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sort"
@@ -170,6 +171,13 @@ type Replayer struct {
 	// crossed.
 	liveNotes []string
 
+	// Streaming-replay state (NewStream): the shared chunk source, chunks
+	// pulled ahead for callsites not yet asking, and the latched terminal
+	// source state (ErrExhausted after a clean end).
+	src     ChunkSource
+	pending map[uint64][]*cdcformat.Chunk
+	srcErr  error
+
 	stats Stats
 
 	// obs instruments, nil when Options.Obs is nil (no-op calls).
@@ -205,34 +213,16 @@ type Stats struct {
 
 var _ simmpi.MPI = (*Replayer)(nil)
 
-// New creates a Replayer for one rank from a decoded record. next must be a
-// manual-mode lamport layer (lamport.WrapManual).
-func New(next *lamport.Layer, rec *core.Record, opts Options) *Replayer {
+// newReplayer builds the rank-replay shell shared by New and NewStream.
+func newReplayer(next *lamport.Layer, opts Options) *Replayer {
 	opts.fill()
 	rp := &Replayer{
 		next:        next,
 		opts:        opts,
-		streams:     make(map[uint64]*stream, len(rec.Chunks)),
+		streams:     make(map[uint64]*stream),
 		lastSeen:    make(map[int32]uint64),
 		outstanding: make(map[*simmpi.Request]bool),
 		appDone:     make(map[*simmpi.Request]bool),
-	}
-	for cs, chunks := range rec.Chunks {
-		name := rec.Names[cs]
-		if name == "" {
-			name = fmt.Sprintf("callsite %#x", cs)
-		}
-		st := &stream{name: name, chunks: chunks}
-		for ci, c := range chunks {
-			for _, e := range c.Exceptions {
-				if st.excChunk == nil {
-					st.excChunk = make(map[tables.MatchedEntry]int)
-				}
-				e.Tag = 0 // keyed by (rank, clock) only
-				st.excChunk[e] = ci
-			}
-		}
-		rp.streams[cs] = st
 	}
 	reg := opts.Obs
 	rp.obsReg = reg
@@ -246,6 +236,197 @@ func New(next *lamport.Layer, rec *core.Record, opts Options) *Replayer {
 	return rp
 }
 
+// New creates a Replayer for one rank from a fully decoded record. next
+// must be a manual-mode lamport layer (lamport.WrapManual). It is the eager
+// wrapper over the streaming machinery: each callsite's fetch closure walks
+// the already-decoded slice. For records too large to materialize — or to
+// replay straight off the parallel decode pipeline — use NewStream.
+func New(next *lamport.Layer, rec *core.Record, opts Options) *Replayer {
+	rp := newReplayer(next, opts)
+	for cs, chunks := range rec.Chunks {
+		name := rec.Names[cs]
+		if name == "" {
+			name = fmt.Sprintf("callsite %#x", cs)
+		}
+		st := &stream{name: name}
+		for ci, c := range chunks {
+			st.total += c.NumMatched
+			for _, e := range c.Exceptions {
+				if st.excChunk == nil {
+					st.excChunk = make(map[tables.MatchedEntry]int)
+				}
+				e.Tag = 0 // keyed by (rank, clock) only
+				st.excChunk[e] = ci
+			}
+		}
+		chunks := chunks
+		next := 0
+		st.fetch = func() (*cdcformat.Chunk, error) {
+			if next >= len(chunks) {
+				return nil, ErrExhausted
+			}
+			c := chunks[next]
+			next++
+			return c, nil
+		}
+		rp.streams[cs] = st
+	}
+	return rp
+}
+
+// CallsiteMeta is the per-callsite summary a streaming replay needs up
+// front: how many matched events the record holds (for Verify) and which
+// chunk ordinal each boundary-inversion exception message is pinned to
+// (collect cannot judge exception membership by epoch window alone, and the
+// pinning chunk may stream in long after the message arrives).
+type CallsiteMeta struct {
+	Chunks   int
+	Events   uint64
+	ExcChunk map[tables.MatchedEntry]int
+}
+
+// RecordMeta is the prescan summary of one rank's record: everything the
+// replayer must know about chunks it has not streamed yet. ScanRecord
+// builds it in one bounded-memory pass.
+type RecordMeta struct {
+	Names     map[uint64]string
+	Callsites map[uint64]*CallsiteMeta
+}
+
+// ScanRecord streams a record once and summarizes it into a RecordMeta.
+// The pass keeps only counters and the (rare) exception keys — not the
+// chunk tables — so a record of any size prescans in bounded memory. The
+// iterator is closed when the scan returns. On a decode failure the meta
+// summarizing the intact prefix is returned alongside the error, so a
+// caller that can forgive the damage (a store's epoch pin) keeps the
+// prefix — mirroring core.DrainRecord.
+func ScanRecord(it *core.RecordIter) (*RecordMeta, error) {
+	defer it.Close() //cdc:allow(errsink) read-side close; decode errors surface from Next
+	m := &RecordMeta{Callsites: make(map[uint64]*CallsiteMeta)}
+	for {
+		f, err := it.Next()
+		m.Names = it.Names()
+		if err == io.EOF {
+			return m, nil
+		}
+		if err != nil {
+			return m, err
+		}
+		if f.Chunk == nil {
+			continue
+		}
+		cm := m.Callsites[f.Chunk.Callsite]
+		if cm == nil {
+			cm = &CallsiteMeta{}
+			m.Callsites[f.Chunk.Callsite] = cm
+		}
+		cm.Events += f.Chunk.NumMatched
+		for _, e := range f.Chunk.Exceptions {
+			if cm.ExcChunk == nil {
+				cm.ExcChunk = make(map[tables.MatchedEntry]int)
+			}
+			e.Tag = 0 // keyed by (rank, clock) only
+			cm.ExcChunk[e] = cm.Chunks
+		}
+		cm.Chunks++
+	}
+}
+
+// ChunkSource feeds a streaming replay chunks in record order. Next returns
+// io.EOF after the last chunk; Chunk.Callsite routes each one to its
+// stream. Sources need not be safe for concurrent use — the replayer pulls
+// from application goroutine context, one chunk at a time.
+type ChunkSource interface {
+	Next() (*cdcformat.Chunk, error)
+	Close() error
+}
+
+// iterSource adapts a RecordIter into a ChunkSource by skipping the
+// non-chunk frames.
+type iterSource struct{ it *core.RecordIter }
+
+func (s iterSource) Next() (*cdcformat.Chunk, error) {
+	for {
+		f, err := s.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.Chunk != nil {
+			return f.Chunk, nil
+		}
+	}
+}
+
+func (s iterSource) Close() error { return s.it.Close() }
+
+// IterSource exposes a RecordIter's chunk frames as a ChunkSource — the
+// glue between the core decode pipeline (serial or pooled) and NewStream.
+func IterSource(it *core.RecordIter) ChunkSource { return iterSource{it} }
+
+// NewStream creates a Replayer that pulls chunks from src as replay
+// progresses instead of materializing the record: with a pooled decode
+// behind src (core.OpenRecordOptions / OpenRecordSegments), decoded chunks
+// arrive a bounded prefetch window ahead of the consumption frontier and
+// the whole record is never resident at once. meta comes from a ScanRecord
+// prescan of the same record (the prescan pass may — and with a store,
+// should — run through the parallel decoder too).
+//
+// The replayer owns src and closes it in Close. Chunks for a callsite that
+// outpace that callsite's consumption are buffered pending; lockstep
+// callsites keep that buffer near the prefetch depth.
+func NewStream(next *lamport.Layer, meta *RecordMeta, src ChunkSource, opts Options) *Replayer {
+	rp := newReplayer(next, opts)
+	rp.src = src
+	rp.pending = make(map[uint64][]*cdcformat.Chunk)
+	for cs, cm := range meta.Callsites {
+		name := meta.Names[cs]
+		if name == "" {
+			name = fmt.Sprintf("callsite %#x", cs)
+		}
+		cs := cs
+		st := &stream{name: name, total: cm.Events, excChunk: cm.ExcChunk}
+		st.fetch = func() (*cdcformat.Chunk, error) { return rp.pullChunk(cs) }
+		rp.streams[cs] = st
+	}
+	return rp
+}
+
+// pullChunk returns callsite cs's next chunk, demultiplexing the shared
+// source: chunks for other callsites pulled along the way wait in pending.
+func (rp *Replayer) pullChunk(cs uint64) (*cdcformat.Chunk, error) {
+	for {
+		if q := rp.pending[cs]; len(q) > 0 {
+			c := q[0]
+			rp.pending[cs] = q[1:]
+			return c, nil
+		}
+		if rp.srcErr != nil {
+			return nil, rp.srcErr
+		}
+		c, err := rp.src.Next()
+		if err != nil {
+			if err == io.EOF {
+				err = ErrExhausted
+			}
+			rp.srcErr = err
+			continue
+		}
+		if c.Callsite == cs {
+			return c, nil
+		}
+		rp.pending[c.Callsite] = append(rp.pending[c.Callsite], c)
+	}
+}
+
+// Close releases the chunk source of a streaming replay (and with it the
+// decode pipeline's workers). Eager replayers have nothing to release.
+func (rp *Replayer) Close() error {
+	if rp.src == nil {
+		return nil
+	}
+	return rp.src.Close()
+}
+
 // specPair is a receive spec observed at a callsite.
 type specPair struct{ src, tag int }
 
@@ -256,9 +437,20 @@ func (sp specPair) accepts(source, tag int) bool {
 
 // stream is the replay cursor over one callsite's chunks.
 type stream struct {
-	name   string
-	chunks []*cdcformat.Chunk
-	ci     int // next chunk index to load
+	name string
+	// fetch returns the callsite's next chunk in record order, ErrExhausted
+	// past the last one, or the decode failure. Eager replays (New) close
+	// over a decoded slice; streaming replays (NewStream) pull from the
+	// shared ChunkSource, so a chunk's tables are decoded no earlier than
+	// the prefetch window ahead of the consumption frontier.
+	fetch func() (*cdcformat.Chunk, error)
+	ci    int // chunks fetched so far; the loaded chunk's ordinal is ci-1
+	// total and seen count matched events: total across the whole recorded
+	// stream (from the record or the prescan), seen in fetched chunks.
+	// Verify reports total-seen plus the loaded chunk's unreplayed tail
+	// without needing the unfetched chunks in memory.
+	total  uint64
+	seen   uint64
 	loaded bool
 	err    error
 	// live marks the callsite as past its recorded events: MF calls pass
@@ -330,11 +522,15 @@ func (s *stream) load() error {
 		}
 		s.loaded = false
 	}
-	if s.ci >= len(s.chunks) {
-		return ErrExhausted
+	c, err := s.fetch()
+	if err != nil {
+		if errors.Is(err, ErrExhausted) {
+			return ErrExhausted
+		}
+		return fmt.Errorf("replay: %s chunk %d: %w", s.name, s.ci, err)
 	}
-	c := s.chunks[s.ci]
 	s.ci++
+	s.seen += c.NumMatched
 	s.loaded = true
 	s.n = int(c.NumMatched)
 	obs, err := permdiff.Decode(s.n, c.Moves)
@@ -1434,10 +1630,7 @@ func (rp *Replayer) Verify() error {
 	}
 	sort.Slice(streams, func(i, j int) bool { return streams[i].name < streams[j].name })
 	for _, s := range streams {
-		remaining := 0
-		for ci := s.ci; ci < len(s.chunks); ci++ {
-			remaining += int(s.chunks[ci].NumMatched)
-		}
+		remaining := int(s.total - s.seen)
 		if s.loaded {
 			remaining += s.n - s.t
 		}

@@ -13,8 +13,20 @@ import (
 func mkStream(t *testing.T, runs ...[]tables.Event) *stream {
 	t.Helper()
 	s := &stream{name: "test"}
+	var chunks []*cdcformat.Chunk
 	for _, events := range runs {
-		s.chunks = append(s.chunks, cdcformat.BuildChunkWithSenders(1, events))
+		c := cdcformat.BuildChunkWithSenders(1, events)
+		s.total += c.NumMatched
+		chunks = append(chunks, c)
+	}
+	next := 0
+	s.fetch = func() (*cdcformat.Chunk, error) {
+		if next >= len(chunks) {
+			return nil, ErrExhausted
+		}
+		c := chunks[next]
+		next++
+		return c, nil
 	}
 	return s
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"io/fs"
 
+	"cdcreplay/internal/cdcformat"
 	"cdcreplay/internal/core"
 )
 
@@ -54,8 +55,15 @@ func LoadRank(st Store, rank int) (*core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer r.Close() //cdc:allow(errsink) read-side close; decode errors surface from ReadRecordPrefix
-	rec, err := core.ReadRecordPrefix(r)
+	defer r.Close() //cdc:allow(errsink) read-side close; decode errors surface from DrainRecord
+	it, err := core.OpenRecord(r)
+	if err != nil {
+		if !m.Complete && tolerableAtPin(err) {
+			return &core.Record{Chunks: map[uint64][]*cdcformat.Chunk{}}, nil
+		}
+		return nil, err
+	}
+	rec, err := core.DrainRecord(it)
 	if err == nil {
 		return rec, nil
 	}
@@ -65,13 +73,59 @@ func LoadRank(st Store, rank int) (*core.Record, error) {
 	return nil, err
 }
 
-// tolerableAtPin reports a decode failure that is exactly the epoch-pin
+// TolerableAtPin reports a decode failure that is exactly the epoch-pin
 // boundary of an in-progress blob: the stream ran out mid-frame (or before
 // the magic, for a pin at zero). Any other cause — CRC mismatch, malformed
-// payload, unknown frame kind — is corruption below the pin.
-func tolerableAtPin(err error) bool {
+// payload, unknown frame kind — is corruption below the pin. Streaming
+// readers of incomplete runs (cdc.Replay) use it the way LoadRank does: to
+// treat the pin boundary as a clean end of record.
+func TolerableAtPin(err error) bool {
 	var te *core.TruncatedRecordError
 	return errors.As(err, &te) && errors.Is(te.Cause, io.ErrUnexpectedEOF)
+}
+
+func tolerableAtPin(err error) bool { return TolerableAtPin(err) }
+
+// OpenRankIter opens one rank's record as a streaming iterator through a
+// decode policy, picking the widest decode parallelism the backend
+// supports: on a seekable store with a committed chunk index and
+// DecodeWorkers ≥ 1, the committed epochs become independently inflated
+// segments (core.OpenRecordSegments); otherwise the stream-mode pipeline
+// (or a plain serial decode) reads the blob front to back. On incomplete
+// runs the blob arrives pinned, exactly like LoadRank.
+//
+// The returned closer is the underlying blob: close the iterator first,
+// then the blob (cdc.RecordReader-style errors.Join works).
+func OpenRankIter(st Store, rank int, o core.DecoderOptions) (*core.RecordIter, io.Closer, error) {
+	r, err := st.OpenRank(rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.DecodeWorkers > 0 && st.Seekable() {
+		m, err := st.Manifest()
+		if err != nil {
+			r.Close() //cdc:allow(errsink) open failed; the open error is the one to report
+			return nil, nil, err
+		}
+		if idx := m.RankIndex(rank); len(idx) > 0 {
+			cuts := make([]int64, 0, len(idx))
+			for _, e := range idx {
+				cuts = append(cuts, e.Offset)
+			}
+			it, err := core.OpenRecordSegments(r, r.Size(), cuts, o)
+			if err != nil {
+				r.Close() //cdc:allow(errsink) open failed; the open error is the one to report
+				return nil, nil, err
+			}
+			return it, r, nil
+		}
+	}
+	it, err := core.OpenRecordOptions(r, o)
+	if err != nil {
+		r.Close() //cdc:allow(errsink) open failed; the open error is the one to report
+		return nil, nil, err
+	}
+	return it, r, nil
 }
 
 // RankFrontier scans one rank's full blob (torn tail included) and reports

@@ -129,8 +129,16 @@ func LoadRank(dir string, rank int) (*core.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close() //cdc:allow(errsink) read-side close; decode errors surface from ReadRecord
-	return core.ReadRecord(f)
+	defer f.Close() //cdc:allow(errsink) read-side close; decode errors surface from DrainRecord
+	it, err := core.OpenRecord(f)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := core.DrainRecord(it)
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
 }
 
 // ReadManifest reads a run directory's manifest without the completeness
