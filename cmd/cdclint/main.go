@@ -1,39 +1,74 @@
 // Command cdclint runs cdcreplay's repo-specific static analyzers over the
 // module and exits non-zero on findings. It enforces the determinism and
-// safety invariants DESIGN.md §10 documents: no wall-clock or randomness
-// in the encode/decode packages, no map-iteration order leaking into
-// serialized bytes, no swallowed storage errors, guarded obs instruments,
-// no copied locks or unaligned atomics, and no panics in library code.
+// safety invariants DESIGN.md §10 and §15 document: no wall-clock or
+// randomness in the encode/decode packages (nodeterm, and interprocedurally
+// nodetermflow), no map-iteration order leaking into serialized bytes
+// (maporder), no swallowed storage errors (errsink), guarded obs
+// instruments (obsguard), no copied locks or unaligned atomics (locksafe),
+// no library panics (panicfree), no lock-acquisition cycles across the call
+// graph (lockorder), and no unstoppable goroutines or undrained channels
+// (leakcheck).
 //
 // Usage:
 //
-//	cdclint [-json] [-out file] [-list] [packages...]
+//	cdclint [-json|-sarif] [-out file] [-list] [-check a,b] \
+//	        [-baseline file] [-write-baseline] [-lenient] [packages...]
 //
 // Packages default to ./... resolved against the enclosing module.
-// Exit status: 0 clean, 1 findings, 2 usage or load/typecheck failure.
+//
+// The baseline ratchet: findings matching the committed baseline file
+// (default lint.baseline.json at the module root) are grandfathered and do
+// not fail the run; fresh findings do. Stale baseline entries produce a
+// warning suggesting -write-baseline, which rewrites the baseline WITHOUT
+// them — it never adds entries, so the ratchet only shrinks.
+//
+// Exit status: 0 clean (or all findings grandfathered), 1 fresh findings,
+// 2 usage error or packages that failed to load/typecheck. Load failures
+// are themselves findings (check "loaderror"); -lenient downgrades them to
+// stderr warnings for CI bring-up on a partially broken tree.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"cdcreplay/internal/lint"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON ({count, findings})")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	outFile := flag.String("out", "", "write the report to this file instead of stdout")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	checks := flag.String("check", "", "comma-separated subset of checks to run (default: all)")
+	baselinePath := flag.String("baseline", "", "baseline file for the ratchet (default: <module root>/"+lint.BaselineName+"; 'none' disables)")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline without its stale entries (shrink-only) and exit")
+	lenient := flag.Bool("lenient", false, "downgrade package load/typecheck failures from exit 2 to stderr warnings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cdclint [-json] [-out file] [-list] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: cdclint [-json|-sarif] [-out file] [-list] [-check a,b] [-baseline file] [-write-baseline] [-lenient] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "cdclint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
+
+	analyzers, err := lint.SelectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *list {
-		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		for _, a := range analyzers {
+			kind := "package"
+			if a.RunModule != nil {
+				kind = "module"
+			}
+			fmt.Printf("%-12s [%s] %s\n", a.Name, kind, a.Doc)
 		}
 		return
 	}
@@ -42,10 +77,72 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := lint.Run(cwd, flag.Args(), lint.Analyzers(), lint.Config{})
+	root, _, err := lint.FindModuleRoot(cwd)
 	if err != nil {
 		fatal(err)
 	}
+	findings, err := lint.Run(cwd, flag.Args(), analyzers, lint.Config{})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Split off load errors: they are a distinct failure class (exit 2)
+	// because "the analyzer did not see this package" must never read as
+	// "this package is clean".
+	var loadErrs []lint.Finding
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Check == lint.LoadErrorCheck {
+			loadErrs = append(loadErrs, f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	findings = kept
+	if *lenient {
+		for _, f := range loadErrs {
+			fmt.Fprintf(os.Stderr, "cdclint: warning: %s\n", f)
+		}
+		loadErrs = nil
+	}
+
+	// Baseline ratchet.
+	resolvedBaseline := *baselinePath
+	switch resolvedBaseline {
+	case "none":
+		resolvedBaseline = ""
+	case "":
+		resolvedBaseline = filepath.Join(root, lint.BaselineName)
+	}
+	var stale []lint.BaselineEntry
+	if resolvedBaseline != "" {
+		baseline, err := lint.LoadBaseline(resolvedBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		if *writeBaseline {
+			shrunk := baseline.Shrink(findings)
+			f, err := os.Create(resolvedBaseline)
+			if err != nil {
+				fatal(err)
+			}
+			if err := lint.WriteBaseline(f, shrunk); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cdclint: baseline %s: %d entries kept, %d stale dropped\n",
+				resolvedBaseline, len(shrunk.Entries), len(baseline.Entries)-len(shrunk.Entries))
+			return
+		}
+		findings, stale = baseline.Apply(findings)
+	}
+
+	// Load errors join the report (they are findings) but drive exit 2.
+	findings = append(findings, loadErrs...)
+	lint.SortFindings(findings)
 
 	out := os.Stdout
 	if *outFile != "" {
@@ -56,17 +153,40 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		err = lint.WriteSARIF(out, findings)
+	case *jsonOut:
 		err = lint.WriteJSON(out, findings)
-	} else {
+	default:
 		err = lint.WriteText(out, findings)
 	}
 	if err != nil {
 		fatal(err)
 	}
-	if len(findings) > 0 {
+
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "cdclint: warning: stale baseline entry (no longer produced): %s:%d [%s] %s\n",
+			e.File, e.Line, e.Check, e.Message)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "cdclint: baseline has %d stale entr%s; run cdclint -write-baseline to shrink it\n",
+			len(stale), plural(len(stale)))
+	}
+
+	switch {
+	case len(loadErrs) > 0:
+		os.Exit(2)
+	case len(findings) > 0:
 		os.Exit(1)
 	}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
 }
 
 func fatal(err error) {

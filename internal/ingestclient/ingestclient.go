@@ -204,7 +204,7 @@ func (c *Client) connect(gen uint64) error {
 	if err != nil {
 		return err
 	}
-	wc := ingestwire.NewConn(nc)
+	wc := ingestwire.NewConn(nc)                      //cdc:allow(nodetermflow) socket IO deadline on the next line; event order is server-sequenced
 	nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout)) //cdc:allow(errsink) deadline on live conn; IO reports failure
 	err = wc.WriteHello(ingestwire.Hello{
 		Version: ingestwire.Version,
@@ -500,7 +500,7 @@ func (c *Client) reconnect() error {
 // the server's DONE (every event durable and acked). The client is
 // unusable afterwards.
 func (c *Client) Close() error {
-	deadline := time.Now().Add(c.cfg.AckTimeout)
+	deadline := time.Now().Add(c.cfg.AckTimeout) //cdc:allow(nodetermflow) ack timeout bounds Close; event order is fixed by server-assigned sequence numbers
 	for {
 		if err := c.Flush(); err != nil {
 			return err
@@ -509,7 +509,7 @@ func (c *Client) Close() error {
 		live, nc, wc, offset := c.live, c.nc, c.wc, c.offset
 		c.mu.Unlock()
 		if !live {
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //cdc:allow(nodetermflow) reconnect timeout during Close; event order is server-sequenced
 				return errors.New("ingestclient: close timed out reconnecting")
 			}
 			if err := c.reconnect(); err != nil {
@@ -545,7 +545,7 @@ func (c *Client) Close() error {
 			if !live {
 				break
 			}
-			if time.Now().After(deadline) {
+			if time.Now().After(deadline) { //cdc:allow(nodetermflow) ack timeout bounds Close; event order is server-sequenced
 				return errors.New("ingestclient: close timed out waiting for DONE")
 			}
 			time.Sleep(200 * time.Microsecond)

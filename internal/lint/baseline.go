@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Baseline is the ratchet: a committed inventory of grandfathered
+// findings. A finding that matches a baseline entry does not fail the
+// run; a finding that doesn't is "fresh" and fails; a baseline entry no
+// longer produced by the analyzers is "stale" and should be removed.
+// The ratchet only turns one way — WriteShrunkBaseline never adds
+// entries, it only drops stale ones — so the finding count can fall but
+// not silently rise. New grandfathered entries require a hand edit,
+// which code review sees.
+//
+// Matching is by (check, file, message) with multiplicity, not by line:
+// an unrelated edit that shifts a grandfathered finding ten lines down
+// must not break the build, while a second identical finding in the same
+// file must.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one grandfathered finding. Line is recorded for the
+// human reading the file but ignored when matching.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+}
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// BaselineName is the conventional baseline filename at the module root,
+// used by the CLI when no -baseline flag is given.
+const BaselineName = "lint.baseline.json"
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error: the ratchet starts at zero.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+type baselineKey struct {
+	check, file, message string
+}
+
+// Apply splits findings into fresh ones (not covered by the baseline,
+// these fail the run) and returns the stale baseline entries (no longer
+// produced, the baseline should shrink). Grandfathered findings are
+// dropped. Multiplicity counts: a baseline entry absorbs exactly one
+// matching finding.
+func (b *Baseline) Apply(findings []Finding) (fresh []Finding, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int)
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Check, e.File, e.Message}]++
+	}
+	for _, f := range findings {
+		k := baselineKey{f.Check, f.File, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Check, e.File, e.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// Shrink returns the baseline minus its stale entries: the only
+// mutation the ratchet permits. Adding entries is a hand edit by design.
+func (b *Baseline) Shrink(findings []Finding) *Baseline {
+	_, stale := b.Apply(findings)
+	staleCount := make(map[baselineKey]int)
+	for _, e := range stale {
+		staleCount[baselineKey{e.Check, e.File, e.Message}]++
+	}
+	out := &Baseline{Version: baselineVersion}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Check, e.File, e.Message}
+		if staleCount[k] > 0 {
+			staleCount[k]--
+			continue
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	if out.Entries == nil {
+		out.Entries = []BaselineEntry{}
+	}
+	return out
+}
+
+// WriteBaseline serializes a baseline deterministically (two-space
+// indent, entries in the order given — callers pass sorted findings).
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// NewBaseline builds a baseline that grandfathers exactly the given
+// findings. Used to seed the ratchet; after that, only Shrink.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{Version: baselineVersion, Entries: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Entries = append(b.Entries, BaselineEntry{
+			Check: f.Check, File: f.File, Line: f.Line, Message: f.Message,
+		})
+	}
+	return b
+}

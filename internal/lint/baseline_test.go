@@ -1,0 +1,130 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdcreplay/internal/lint"
+)
+
+func mkFinding(check, file, msg string, line int) lint.Finding {
+	return lint.Finding{Check: check, File: file, Line: line, Col: 1, Message: msg}
+}
+
+// TestBaselineGrandfathersAndRatchets pins the core ratchet semantics:
+// baselined findings pass, fresh ones fail, line moves don't matter,
+// multiplicity does.
+func TestBaselineGrandfathersAndRatchets(t *testing.T) {
+	old := []lint.Finding{
+		mkFinding("nodeterm", "a.go", "clock read", 10),
+		mkFinding("errsink", "b.go", "dropped error", 20),
+	}
+	b := lint.NewBaseline(old)
+
+	// Same findings → all grandfathered, nothing stale.
+	fresh, stale := b.Apply(old)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("identical findings: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	// A grandfathered finding that moved lines still matches.
+	moved := []lint.Finding{
+		mkFinding("nodeterm", "a.go", "clock read", 99),
+		mkFinding("errsink", "b.go", "dropped error", 21),
+	}
+	fresh, stale = b.Apply(moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("moved findings: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	// A new finding is fresh even though its file has a baselined one.
+	grown := append(append([]lint.Finding(nil), old...),
+		mkFinding("nodeterm", "a.go", "second clock read", 30))
+	fresh, _ = b.Apply(grown)
+	if len(fresh) != 1 || fresh[0].Message != "second clock read" {
+		t.Fatalf("grown findings: fresh=%v, want the new one only", fresh)
+	}
+
+	// A second identical finding in the same file exceeds the entry's
+	// multiplicity budget and is fresh.
+	doubled := append(append([]lint.Finding(nil), old...),
+		mkFinding("nodeterm", "a.go", "clock read", 50))
+	fresh, _ = b.Apply(doubled)
+	if len(fresh) != 1 {
+		t.Fatalf("doubled finding: fresh=%v, want exactly one", fresh)
+	}
+
+	// A fixed finding turns its entry stale.
+	fixed := old[:1]
+	fresh, stale = b.Apply(fixed)
+	if len(fresh) != 0 || len(stale) != 1 || stale[0].Check != "errsink" {
+		t.Fatalf("fixed finding: fresh=%v stale=%v, want one stale errsink", fresh, stale)
+	}
+}
+
+// TestBaselineShrinkOnly pins the one-way ratchet: Shrink removes stale
+// entries and never adds, even when fresh findings exist.
+func TestBaselineShrinkOnly(t *testing.T) {
+	b := lint.NewBaseline([]lint.Finding{
+		mkFinding("nodeterm", "a.go", "clock read", 10),
+		mkFinding("errsink", "b.go", "dropped error", 20),
+	})
+	current := []lint.Finding{
+		mkFinding("nodeterm", "a.go", "clock read", 10),   // still present
+		mkFinding("maporder", "c.go", "map iteration", 5), // fresh, must NOT be absorbed
+	}
+	shrunk := b.Shrink(current)
+	if len(shrunk.Entries) != 1 {
+		t.Fatalf("shrunk entries = %+v, want just the surviving nodeterm entry", shrunk.Entries)
+	}
+	if e := shrunk.Entries[0]; e.Check != "nodeterm" || e.File != "a.go" {
+		t.Fatalf("surviving entry = %+v, want the nodeterm one", e)
+	}
+	// The fresh maporder finding still fails against the shrunk baseline.
+	fresh, _ := shrunk.Apply(current)
+	if len(fresh) != 1 || fresh[0].Check != "maporder" {
+		t.Fatalf("fresh after shrink = %v, want the maporder finding", fresh)
+	}
+}
+
+// TestBaselineFileRoundTrip writes a baseline to disk and loads it back;
+// also checks the missing-file and bad-version paths.
+func TestBaselineFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, lint.BaselineName)
+
+	b := lint.NewBaseline([]lint.Finding{mkFinding("panicfree", "x.go", "library panic", 7)})
+	var buf bytes.Buffer
+	if err := lint.WriteBaseline(&buf, b); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
+		t.Fatalf("round trip changed entries: %+v != %+v", got.Entries, b.Entries)
+	}
+
+	// Missing file = empty baseline, not an error.
+	empty, err := lint.LoadBaseline(filepath.Join(dir, "absent.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing): %v", err)
+	}
+	if len(empty.Entries) != 0 {
+		t.Fatalf("missing baseline has entries: %+v", empty.Entries)
+	}
+
+	// Unsupported version is an explicit error, not silent acceptance.
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.LoadBaseline(path); err == nil {
+		t.Fatal("LoadBaseline accepted an unsupported version")
+	}
+}

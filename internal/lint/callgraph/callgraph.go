@@ -1,0 +1,472 @@
+// Package callgraph builds a module-wide class-hierarchy-analysis (CHA)
+// call graph from typechecked go/ast packages, using only the standard
+// library (go/ast + go/types — the module's zero-dependency rule).
+//
+// The graph over-approximates the dynamic call relation, which is the
+// right direction for the interprocedural lint analyzers built on it
+// (nodetermflow, lockorder, leakcheck): a spurious edge can at worst
+// demand a reasoned //cdc:allow, while a missing edge would let a
+// nondeterminism source or a lock cycle hide behind one helper call.
+//
+// Resolution rules:
+//
+//   - Direct calls (pkg.F(), recv.M() with a concrete receiver) produce
+//     one static edge to the called *types.Func.
+//   - Interface method calls produce one edge per module-local concrete
+//     type whose method set satisfies the interface (CHA), resolved
+//     through types.Implements over every named type declared in the
+//     module. When no module type implements the interface the edge
+//     falls back to the abstract interface method so the call is still
+//     visible.
+//   - A function or method referenced as a value (method value, function
+//     passed as a callback, `go f`, `defer f`) produces a Ref edge: the
+//     reference is treated as a potential call from the enclosing
+//     function, because the graph cannot see where the value flows.
+//   - Statements inside function literals are attributed to the
+//     enclosing declared function; calls launched with `go` are marked
+//     so concurrency-aware analyzers can treat them differently.
+//
+// Everything about the graph is deterministic: nodes enumerate in
+// qualified-name order, out-edges in source order, and CHA fan-out in
+// implementer-name order, so findings derived from it are byte-stable.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Pkg is one typechecked package handed to Build. It mirrors the loader's
+// package shape without importing it, keeping this package dependency-free
+// in both directions.
+type Pkg struct {
+	// Path is the import path; RelPath the module-relative directory
+	// ("." for the module root package).
+	Path    string
+	RelPath string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// EdgeKind classifies how a call site resolves to its callee.
+type EdgeKind int
+
+const (
+	// KindStatic is a direct call to a known function or concrete method.
+	KindStatic EdgeKind = iota
+	// KindInterface is a CHA-resolved edge from an interface method call
+	// to one concrete implementation (or to the abstract method when the
+	// module declares no implementer).
+	KindInterface
+	// KindRef marks a function referenced as a value rather than called:
+	// a method value, a callback argument, `go f` or `defer f`.
+	KindRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindInterface:
+		return "interface"
+	case KindRef:
+		return "ref"
+	}
+	return "unknown"
+}
+
+// Edge is one resolved (caller, site, callee) triple.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the position of the call or reference expression inside
+	// Caller (or inside a function literal attributed to Caller).
+	Site token.Pos
+	Kind EdgeKind
+	// Go marks a call launched in its own goroutine (`go f()` or a
+	// `go func() {...}()` body calling f at top level of the spawn).
+	Go bool
+}
+
+// Node is one function in the graph. Functions declared in the analyzed
+// module carry their declaration and body; imported functions (time.Now,
+// io.Writer.Write, ...) appear as external nodes with no out-edges.
+type Node struct {
+	Func *types.Func
+	// Decl is the declaration for module-local functions, nil for
+	// external or interface-abstract nodes.
+	Decl *ast.FuncDecl
+	// Pkg is the containing module package, nil for external nodes.
+	Pkg *Pkg
+	Out []Edge
+	In  []Edge
+}
+
+// Name returns the fully qualified name, e.g. "(*pkg.T).M" or "pkg.F".
+func (n *Node) Name() string { return n.Func.FullName() }
+
+// Local reports whether the function is declared (with a body) in the
+// analyzed module.
+func (n *Node) Local() bool { return n.Decl != nil }
+
+func (n *Node) String() string { return n.Name() }
+
+// Graph is the module call graph.
+type Graph struct {
+	Fset  *token.FileSet
+	nodes map[*types.Func]*Node
+	// funcs is the deterministic enumeration order: declaration order
+	// within the sorted package list, externals appended as discovered.
+	funcs []*Node
+}
+
+// Node returns the graph node for fn, or nil if fn is unknown.
+func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Funcs returns every node sorted by qualified name (ties broken by
+// package path, which disambiguates unexported names).
+func (g *Graph) Funcs() []*Node {
+	out := make([]*Node, len(g.funcs))
+	copy(out, g.funcs)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Name() != b.Name() {
+			return a.Name() < b.Name()
+		}
+		return pkgPath(a.Func) < pkgPath(b.Func)
+	})
+	return out
+}
+
+// Lookup finds a node by its qualified name (Node.Name). Intended for
+// tests; returns nil when absent or ambiguous only by insertion order.
+func (g *Graph) Lookup(name string) *Node {
+	for _, n := range g.Funcs() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	return nil
+}
+
+func pkgPath(fn *types.Func) string {
+	if p := fn.Pkg(); p != nil {
+		return p.Path()
+	}
+	return ""
+}
+
+// PathTo runs a breadth-first search from `from` and returns the edges of
+// a shortest path to the first node satisfying target, or nil when none is
+// reachable. Out-edges are explored in source order, so the witness path
+// is deterministic.
+func (g *Graph) PathTo(from *Node, target func(*Node) bool) []Edge {
+	if from == nil {
+		return nil
+	}
+	type item struct {
+		node *Node
+		via  []Edge
+	}
+	seen := map[*Node]bool{from: true}
+	queue := []item{{node: from}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, e := range it.node.Out {
+			// Test the target before the visited check so that a path
+			// looping back to an already-seen node (e.g. from itself,
+			// when searching for a cycle) is still found.
+			if target(e.Callee) {
+				return append(append([]Edge(nil), it.via...), e)
+			}
+			if seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			queue = append(queue, item{node: e.Callee, via: append(append([]Edge(nil), it.via...), e)})
+		}
+	}
+	return nil
+}
+
+// ReachableFrom returns the set of nodes reachable from any start node by
+// following out-edges (the starts themselves included).
+func (g *Graph) ReachableFrom(starts ...*Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var stack []*Node
+	for _, s := range starts {
+		if s != nil && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// Callers returns the set of nodes that reach any node in targets by
+// following in-edges (targets themselves included). This is the taint
+// direction: everything that can observe a target's effect.
+func (g *Graph) Callers(targets map[*Node]bool) map[*Node]bool {
+	seen := make(map[*Node]bool, len(targets))
+	var stack []*Node
+	// Deterministic seeding is unnecessary for a set result, but keep the
+	// iteration bounded to known nodes.
+	for n := range targets { //cdc:allow(maporder) result is a set; iteration order does not affect it
+		if n != nil && !seen[n] {
+			seen[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.In {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				stack = append(stack, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
+// Build constructs the call graph for pkgs. The package slice should be
+// sorted by path (the lint loader guarantees this) so node enumeration is
+// stable.
+func Build(fset *token.FileSet, pkgs []*Pkg) *Graph {
+	b := &builder{
+		g:     &Graph{Fset: fset, nodes: make(map[*types.Func]*Node)},
+		pkgs:  pkgs,
+		impls: make(map[*types.Func][]*types.Func),
+	}
+	b.indexDecls()
+	b.indexImplementations()
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				b.collectEdges(pkg, b.g.nodes[fn], fd.Body)
+			}
+		}
+	}
+	return b.g
+}
+
+type builder struct {
+	g    *Graph
+	pkgs []*Pkg
+	// concrete lists every named non-interface type declared in the
+	// module, in package-then-declaration order.
+	concrete []*types.Named
+	// impls maps an interface method to the concrete module methods that
+	// implement it, sorted by qualified name.
+	impls map[*types.Func][]*types.Func
+}
+
+// node interns a *types.Func, creating an external node on first sight.
+func (b *builder) node(fn *types.Func) *Node {
+	if n, ok := b.g.nodes[fn]; ok {
+		return n
+	}
+	n := &Node{Func: fn}
+	b.g.nodes[fn] = n
+	b.g.funcs = append(b.g.funcs, n)
+	return n
+}
+
+// indexDecls creates a node per declared function/method with a body.
+func (b *builder) indexDecls() {
+	for _, pkg := range b.pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := b.node(fn)
+				n.Decl = fd
+				n.Pkg = pkg
+			}
+		}
+	}
+}
+
+// indexImplementations computes, for every interface method referenced
+// anywhere in the module, the concrete module methods that can stand
+// behind it — the class-hierarchy-analysis table.
+func (b *builder) indexImplementations() {
+	// Collect every named (non-interface) type declared in the module;
+	// interface→implementer resolution then happens lazily per call site
+	// in implementersOf against this inventory.
+	for _, pkg := range b.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			b.concrete = append(b.concrete, named)
+		}
+	}
+}
+
+func (b *builder) implementersOf(iface *types.Interface, method *types.Func) []*types.Func {
+	if fns, ok := b.impls[method]; ok {
+		return fns
+	}
+	var fns []*types.Func
+	for _, named := range b.concrete {
+		var recv types.Type = named
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		sel := types.NewMethodSet(recv).Lookup(method.Pkg(), method.Name())
+		if sel == nil {
+			continue
+		}
+		if fn, ok := sel.Obj().(*types.Func); ok {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		a, c := fns[i], fns[j]
+		if a.FullName() != c.FullName() {
+			return a.FullName() < c.FullName()
+		}
+		return pkgPath(a) < pkgPath(c)
+	})
+	b.impls[method] = fns
+	return fns
+}
+
+// collectEdges walks one function body (nested literals included) and adds
+// edges from caller. Call expressions resolve statically or through CHA;
+// bare function references become Ref edges.
+func (b *builder) collectEdges(pkg *Pkg, caller *Node, body *ast.BlockStmt) {
+	info := pkg.Info
+	// callFuns marks expressions that are the Fun of a call, so the
+	// identifier walk below does not double-count them as references.
+	callFuns := make(map[ast.Expr]bool)
+	// goCalls marks call expressions launched by a go statement.
+	goCalls := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		case *ast.CallExpr:
+			callFuns[n.Fun] = true
+			b.addCallEdges(pkg, caller, n, goCalls[n])
+		case *ast.Ident:
+			if callFuns[n] {
+				return true
+			}
+			if fn := usedFunc(info, n); fn != nil {
+				b.addEdge(caller, b.node(fn), n.Pos(), KindRef, false)
+			}
+		case *ast.SelectorExpr:
+			if callFuns[n] {
+				// Mark the Sel so the child Ident visit skips it.
+				callFuns[n.Sel] = true
+				return true
+			}
+			if fn := usedFunc(info, n.Sel); fn != nil {
+				callFuns[n.Sel] = true
+				b.addEdge(caller, b.node(fn), n.Pos(), KindRef, false)
+			}
+		}
+		return true
+	})
+}
+
+// addCallEdges resolves one call expression.
+func (b *builder) addCallEdges(pkg *Pkg, caller *Node, call *ast.CallExpr, isGo bool) {
+	info := pkg.Info
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn := usedFunc(info, fun); fn != nil {
+			b.addEdge(caller, b.node(fn), call.Pos(), KindStatic, isGo)
+		}
+	case *ast.SelectorExpr:
+		fn := usedFunc(info, fun.Sel)
+		if fn == nil {
+			return
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			recv := sel.Recv()
+			if iface, ok := recv.Underlying().(*types.Interface); ok {
+				impls := b.implementersOf(iface, fn)
+				if len(impls) == 0 {
+					// No module implementer: keep the abstract method so
+					// the call is at least visible in the graph.
+					b.addEdge(caller, b.node(fn), call.Pos(), KindInterface, isGo)
+					return
+				}
+				for _, impl := range impls {
+					b.addEdge(caller, b.node(impl), call.Pos(), KindInterface, isGo)
+				}
+				return
+			}
+		}
+		b.addEdge(caller, b.node(fn), call.Pos(), KindStatic, isGo)
+	case *ast.FuncLit:
+		// Literal body is walked by the enclosing Inspect; no edge.
+	default:
+		// Indirect call through a variable or parenthesized expression:
+		// targets were already over-approximated by Ref edges wherever
+		// the function value was taken.
+	}
+}
+
+func (b *builder) addEdge(caller *Node, callee *Node, site token.Pos, kind EdgeKind, isGo bool) {
+	if caller == nil || callee == nil || caller == callee && kind == KindRef {
+		// A function referencing itself (recursion via value) adds
+		// nothing the static self-edge doesn't already say.
+		return
+	}
+	e := Edge{Caller: caller, Callee: callee, Site: site, Kind: kind, Go: isGo}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+// usedFunc resolves an identifier to the *types.Func it uses, or nil.
+func usedFunc(info *types.Info, id *ast.Ident) *types.Func {
+	obj := info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn
+}

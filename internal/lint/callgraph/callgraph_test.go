@@ -1,0 +1,155 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cdcreplay/internal/lint"
+	"cdcreplay/internal/lint/callgraph"
+)
+
+// buildFixture loads the cgfix module through the lint loader and builds
+// its call graph, the same construction path Run uses.
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	pkgs, loadFindings, err := lint.Load(filepath.Join("testdata", "src", "cgfix"), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(loadFindings) > 0 {
+		t.Fatalf("fixture does not typecheck: %v", loadFindings)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	var cps []*callgraph.Pkg
+	for _, p := range pkgs {
+		cps = append(cps, &callgraph.Pkg{
+			Path: p.Path, RelPath: p.RelPath, Files: p.Files, Types: p.Types, Info: p.Info,
+		})
+	}
+	return callgraph.Build(pkgs[0].Fset, cps)
+}
+
+func mustNode(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	n := g.Lookup(name)
+	if n == nil {
+		var names []string
+		for _, fn := range g.Funcs() {
+			names = append(names, fn.Name())
+		}
+		t.Fatalf("node %q not in graph; have %v", name, names)
+	}
+	return n
+}
+
+// edgesTo collects the out-edges of n that land on a callee named name.
+func edgesTo(n *callgraph.Node, name string) []callgraph.Edge {
+	var out []callgraph.Edge
+	for _, e := range n.Out {
+		if e.Callee.Name() == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestMutualRecursion pins the Even → Odd → Even cycle and that PathTo
+// finds it as a two-edge shortest path.
+func TestMutualRecursion(t *testing.T) {
+	g := buildFixture(t)
+	even := mustNode(t, g, "cgfix.Even")
+	odd := mustNode(t, g, "cgfix.Odd")
+	if len(edgesTo(even, "cgfix.Odd")) == 0 {
+		t.Error("missing edge Even → Odd")
+	}
+	if len(edgesTo(odd, "cgfix.Even")) == 0 {
+		t.Error("missing edge Odd → Even")
+	}
+	path := g.PathTo(even, func(n *callgraph.Node) bool { return n == even })
+	if len(path) != 2 {
+		t.Fatalf("PathTo(Even → Even) = %d edges, want 2 (through Odd)", len(path))
+	}
+	if path[0].Callee.Name() != "cgfix.Odd" || path[1].Callee.Name() != "cgfix.Even" {
+		t.Errorf("cycle witness = %v → %v, want Odd → Even", path[0].Callee, path[1].Callee)
+	}
+}
+
+// TestInterfaceDispatch pins CHA fan-out: the interface call in CallSpeak
+// resolves to both concrete Speak methods, as KindInterface edges, in
+// deterministic implementer order.
+func TestInterfaceDispatch(t *testing.T) {
+	g := buildFixture(t)
+	call := mustNode(t, g, "cgfix.CallSpeak")
+	var targets []string
+	for _, e := range call.Out {
+		if e.Kind != callgraph.KindInterface {
+			continue
+		}
+		targets = append(targets, e.Callee.Name())
+	}
+	want := []string{"(*cgfix.Cat).Speak", "(cgfix.Dog).Speak"}
+	if len(targets) != len(want) {
+		t.Fatalf("interface edges = %v, want %v", targets, want)
+	}
+	for i := range want {
+		if targets[i] != want[i] {
+			t.Fatalf("interface edges = %v, want %v (sorted)", targets, want)
+		}
+	}
+}
+
+// TestMethodValue pins that taking a method value records a Ref edge to
+// the concrete method even though no call happens at the site.
+func TestMethodValue(t *testing.T) {
+	g := buildFixture(t)
+	mv := mustNode(t, g, "cgfix.MethodValue")
+	edges := edgesTo(mv, "(cgfix.Dog).Speak")
+	if len(edges) == 0 {
+		t.Fatal("missing Ref edge MethodValue → Dog.Speak")
+	}
+	if edges[0].Kind != callgraph.KindRef {
+		t.Errorf("edge kind = %v, want ref", edges[0].Kind)
+	}
+}
+
+// TestGoAndLiteralAttribution pins that `go loop()` is marked as a
+// goroutine launch and that calls inside a spawned literal are attributed
+// to the spawning function.
+func TestGoAndLiteralAttribution(t *testing.T) {
+	g := buildFixture(t)
+	spawn := mustNode(t, g, "cgfix.Spawn")
+	loopEdges := edgesTo(spawn, "cgfix.loop")
+	if len(loopEdges) == 0 {
+		t.Fatal("missing edge Spawn → loop")
+	}
+	if !loopEdges[0].Go {
+		t.Error("Spawn → loop edge not marked as a go launch")
+	}
+	if len(edgesTo(spawn, "time.Now")) == 0 {
+		t.Error("time.Now inside the spawned literal not attributed to Spawn")
+	}
+}
+
+// TestExternalNode pins that stdlib callees appear as non-Local nodes and
+// that reachability crosses into them.
+func TestExternalNode(t *testing.T) {
+	g := buildFixture(t)
+	clock := mustNode(t, g, "cgfix.Clock")
+	now := mustNode(t, g, "time.Now")
+	if now.Local() {
+		t.Error("time.Now claims to be module-local")
+	}
+	reach := g.ReachableFrom(clock)
+	if !reach[now] {
+		t.Error("time.Now not reachable from Clock")
+	}
+	callers := g.Callers(map[*callgraph.Node]bool{now: true})
+	if !callers[clock] {
+		t.Error("Clock not in Callers(time.Now)")
+	}
+	if spawn := g.Lookup("cgfix.Spawn"); spawn == nil || !callers[spawn] {
+		t.Error("Spawn (literal body) not in Callers(time.Now)")
+	}
+}

@@ -1,0 +1,66 @@
+// Package cgfix exercises the call-graph builder: mutual recursion,
+// interface dispatch, method values, go statements, and external calls.
+package cgfix
+
+import "time"
+
+// Even and Odd are mutually recursive: the graph must contain the
+// two-edge cycle Even → Odd → Even.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Speaker is dispatched through CHA: a call through the interface fans
+// out to every concrete implementation in the module.
+type Speaker interface {
+	Speak() string
+}
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Speak() string { return "meow" }
+
+// CallSpeak calls through the interface; CHA resolves to Dog.Speak and
+// (*Cat).Speak.
+func CallSpeak(s Speaker) string { return s.Speak() }
+
+// MethodValue takes a method value without calling it here; the graph
+// records a Ref edge because the value may be called anywhere.
+func MethodValue(d Dog) func() string {
+	f := d.Speak
+	return f
+}
+
+// Spawn launches a goroutine calling a named function and one calling a
+// literal; the named call edge must carry the Go mark, and the literal's
+// body (the external time.Now call) is attributed to Spawn.
+func Spawn() {
+	go loop()
+	go func() {
+		_ = time.Now()
+	}()
+}
+
+func loop() {
+	for i := 0; i < 3; i++ {
+		_ = Even(i)
+	}
+}
+
+// Clock calls an external function: the callee node exists but is not
+// Local.
+func Clock() time.Time { return time.Now() }

@@ -98,16 +98,18 @@ func ParseDirectives(fset *token.FileSet, file *ast.File, known map[string]bool)
 	return ds, bad
 }
 
-// applySuppressions drops findings covered by an allow directive for their
-// check (or an invariant tag, for panicfree) on the same line or the line
-// directly above.
-func applySuppressions(findings []Finding, directives []Directive, r *run) []Finding {
-	type key struct {
-		file  string
-		line  int
-		check string
-	}
-	allowed := make(map[key]bool)
+// allowKey addresses one (file, line, check) suppression cell. The same
+// map serves applySuppressions and ModulePass.AllowedAt, so the rule "a
+// directive covers its own line and the line below" has one definition.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// buildAllowed expands directives into the suppression map.
+func buildAllowed(directives []Directive, r *run) map[allowKey]bool {
+	allowed := make(map[allowKey]bool)
 	for _, d := range directives {
 		file := r.relFile(d.File)
 		check := d.Check
@@ -116,12 +118,19 @@ func applySuppressions(findings []Finding, directives []Directive, r *run) []Fin
 		}
 		// A directive covers its own line (trailing comment) and the next
 		// line (comment above the offending statement).
-		allowed[key{file, d.Line, check}] = true
-		allowed[key{file, d.Line + 1, check}] = true
+		allowed[allowKey{file, d.Line, check}] = true
+		allowed[allowKey{file, d.Line + 1, check}] = true
 	}
+	return allowed
+}
+
+// applySuppressions drops findings covered by an allow directive for their
+// check (or an invariant tag, for panicfree) on the same line or the line
+// directly above.
+func applySuppressions(findings []Finding, allowed map[allowKey]bool) []Finding {
 	kept := findings[:0]
 	for _, f := range findings {
-		if allowed[key{f.File, f.Line, f.Check}] {
+		if allowed[allowKey{f.File, f.Line, f.Check}] {
 			continue
 		}
 		kept = append(kept, f)

@@ -1,0 +1,529 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"cdcreplay/internal/lint/callgraph"
+)
+
+// LeakcheckAnalyzer reports two goroutine-hygiene hazards the race
+// detector cannot see (a leaked goroutine races with nothing; it just
+// never dies):
+//
+//  1. A `go` statement whose spawned computation — the literal body plus
+//     everything reachable from it through the call graph — runs an
+//     unconditional `for {}` loop containing no visible stop signal: no
+//     select, channel receive, channel range, context.Done/Err, and no
+//     loop exit (return/break), neither directly in the loop body nor
+//     inside a module function the loop calls. Such a goroutine can
+//     never be shut down; under cdcd's multi-tenant churn each leaked
+//     worker is memory pinned until process exit.
+//
+//  2. A channel (package-level var, struct field, or local) that is sent
+//     on somewhere in the module but never received from anywhere in it:
+//     every sender eventually blocks forever. Channels that escape the
+//     analysis (passed to a function, returned, aliased, stored into a
+//     container) are skipped rather than guessed about.
+//
+// Intentional cases — a daemon loop stopped by process exit, a channel
+// drained only by test code — carry //cdc:allow(leakcheck) <reason>.
+var LeakcheckAnalyzer = &Analyzer{
+	Name: "leakcheck",
+	Doc: "flag goroutines spawned with no reachable stop signal and " +
+		"channels sent on but never drained anywhere in the module",
+	Scope: []string{
+		"internal/...",
+		"cmd/...",
+		"cdc",
+	},
+	RunModule: runLeakcheck,
+}
+
+func runLeakcheck(p *ModulePass) {
+	lc := &leakChecker{p: p, signal: make(map[*callgraph.Node]int)}
+	for _, pkg := range p.ScopedPkgs() {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				lc.checkGoStmt(pkg, gs)
+				return true
+			})
+		}
+	}
+	lc.checkChannels()
+}
+
+type leakChecker struct {
+	p *ModulePass
+	// signal memoizes funcHasBlockingSignal: 0 unknown, 1 in-progress or
+	// false, 2 true.
+	signal map[*callgraph.Node]int
+}
+
+// checkGoStmt inspects one goroutine launch for an unstoppable loop.
+func (lc *leakChecker) checkGoStmt(pkg *Package, gs *ast.GoStmt) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if pos := lc.unstoppedLoop(pkg.Info, lit.Body); pos != token.NoPos {
+			lc.reportLoop(gs, pos, "in the spawned literal")
+		}
+		// Named functions called from the literal are roots too: the
+		// loop may live one frame down.
+		lc.checkCalledFrom(gs, pkg.Info, lit.Body)
+		return
+	}
+	// go f(...) / go recv.m(...): resolve and scan the target.
+	if fn := goTargetFunc(pkg.Info, gs.Call); fn != nil {
+		if node := lc.p.Graph.Node(fn); node != nil {
+			lc.checkSpawnedNode(gs, node, make(map[*callgraph.Node]bool))
+		}
+	}
+}
+
+// checkCalledFrom scans the top-level module calls of a spawned literal
+// and treats each as a spawned root.
+func (lc *leakChecker) checkCalledFrom(gs *ast.GoStmt, info *types.Info, body *ast.BlockStmt) {
+	visited := make(map[*callgraph.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := goTargetFunc(info, call); fn != nil {
+			if node := lc.p.Graph.Node(fn); node != nil {
+				lc.checkSpawnedNode(gs, node, visited)
+			}
+		}
+		return true
+	})
+}
+
+// checkSpawnedNode looks for an unstopped loop in node's body and then in
+// everything it statically calls.
+func (lc *leakChecker) checkSpawnedNode(gs *ast.GoStmt, node *callgraph.Node, visited map[*callgraph.Node]bool) {
+	if visited[node] || !node.Local() || node.Pkg == nil {
+		return
+	}
+	visited[node] = true
+	if pos := lc.unstoppedLoop(node.Pkg.Info, node.Decl.Body); pos != token.NoPos {
+		lc.reportLoop(gs, pos, "in "+lc.p.ShortName(node.Func))
+		return
+	}
+	for _, e := range node.Out {
+		if e.Kind == callgraph.KindRef || e.Go || !e.Callee.Local() {
+			continue
+		}
+		lc.checkSpawnedNode(gs, e.Callee, visited)
+	}
+}
+
+func (lc *leakChecker) reportLoop(gs *ast.GoStmt, loopPos token.Pos, where string) {
+	lc.p.Reportf(gs.Pos(),
+		"goroutine runs an unconditional for-loop with no stop signal (%s, loop at %s): no select, channel receive/range, context, or loop exit is reachable, so it can never be shut down",
+		where, lc.p.RelPosition(loopPos))
+}
+
+// goTargetFunc resolves `go f()` / `go x.m()` to the target function.
+func goTargetFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// unstoppedLoop finds the first `for {}` (or `for ;; {}`) loop in body
+// whose body contains no stop signal and no loop exit, directly or
+// through a module call. Nested function literals are separate
+// computations and are not entered.
+func (lc *leakChecker) unstoppedLoop(info *types.Info, body *ast.BlockStmt) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !lc.loopHasStop(info, n.Body) {
+				found = n.Pos()
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasStop reports whether a loop body contains a stop signal or exit:
+// select, receive, channel range, break/return/goto, panic, a context or
+// WaitGroup call, or a call into a module function that itself blocks on
+// a channel or context (transitively).
+func (lc *leakChecker) loopHasStop(info *types.Info, body *ast.BlockStmt) bool {
+	stop := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if stop {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			stop = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				stop = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					stop = true
+				}
+			}
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				stop = true
+			}
+		case *ast.ReturnStmt:
+			stop = true
+		case *ast.CallExpr:
+			if callIsStopSignal(info, n) {
+				stop = true
+				return false
+			}
+			if fn := goTargetFunc(info, n); fn != nil {
+				if node := lc.p.Graph.Node(fn); node != nil && node.Local() {
+					if lc.funcHasBlockingSignal(node) {
+						stop = true
+						return false
+					}
+				}
+			}
+		}
+		return !stop
+	})
+	return stop
+}
+
+// callIsStopSignal recognizes direct stop/terminate calls: context
+// methods, WaitGroup waits, panic, runtime.Goexit, os.Exit, log.Fatal*.
+func callIsStopSignal(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		obj, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "context":
+			return true
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "os":
+			return obj.Name() == "Exit"
+		case "log":
+			return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "Fatalln"
+		case "sync":
+			// WaitGroup.Wait blocks until peers finish; Cond.Wait blocks
+			// until signaled — both are coordination, not spin.
+			return obj.Name() == "Wait"
+		}
+	}
+	return false
+}
+
+// funcHasBlockingSignal reports whether a module function's body (or a
+// static callee's, transitively) contains a channel receive, channel
+// range, select, or context call — the signals that make a caller's
+// `for { f() }` loop stoppable-by-peer rather than a pure spin.
+func (lc *leakChecker) funcHasBlockingSignal(node *callgraph.Node) bool {
+	switch lc.signal[node] {
+	case 1:
+		return false // in progress (cycle) or known false
+	case 2:
+		return true
+	}
+	lc.signal[node] = 1
+	if !node.Local() || node.Pkg == nil {
+		return false
+	}
+	has := false
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if has {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			has = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				has = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := node.Pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					has = true
+				}
+			}
+		case *ast.CallExpr:
+			if callIsStopSignal(node.Pkg.Info, n) {
+				has = true
+			}
+		}
+		return !has
+	})
+	if !has {
+		for _, e := range node.Out {
+			if e.Kind == callgraph.KindRef || e.Go || !e.Callee.Local() {
+				continue
+			}
+			if lc.funcHasBlockingSignal(e.Callee) {
+				has = true
+				break
+			}
+		}
+	}
+	if has {
+		lc.signal[node] = 2
+	}
+	return has
+}
+
+// chanUse accumulates module-wide evidence about one channel object.
+type chanUse struct {
+	v     *types.Var
+	sends int
+	recvs int
+	// fresh is set when the variable is seen bound to make(chan ...):
+	// only then does its send/receive census describe one channel object.
+	// Params, fields, and vars assigned from other expressions alias
+	// channels counted elsewhere and are never reported.
+	fresh     bool
+	escapes   bool
+	firstSend token.Pos
+}
+
+// checkChannels finds channels with senders but no receiver anywhere in
+// the module. The universe is every loaded package (a channel owned by a
+// scoped package may be drained elsewhere); findings are reported only
+// inside the scope.
+func (lc *leakChecker) checkChannels() {
+	p := lc.p
+	uses := make(map[*types.Var]*chanUse)
+	consumed := make(map[*ast.Ident]bool)
+
+	chanVar := func(info *types.Info, expr ast.Expr) (*types.Var, *ast.Ident) {
+		for {
+			if pe, ok := expr.(*ast.ParenExpr); ok {
+				expr = pe.X
+				continue
+			}
+			break
+		}
+		var id *ast.Ident
+		switch e := expr.(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return nil, nil
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			if v, ok = info.Defs[id].(*types.Var); !ok {
+				return nil, nil
+			}
+		}
+		if v.Pkg() == nil {
+			return nil, nil
+		}
+		if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+			return nil, nil
+		}
+		return v, id
+	}
+	record := func(v *types.Var) *chanUse {
+		cu := uses[v]
+		if cu == nil {
+			cu = &chanUse{v: v}
+			uses[v] = cu
+		}
+		return cu
+	}
+	// isMakeChan reports whether expr allocates a fresh channel.
+	isMakeChan := func(info *types.Info, expr ast.Expr) bool {
+		call, ok := expr.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[fun].(*types.Builtin)
+		return ok && b.Name() == "make"
+	}
+	// markAlias flags a channel variable bound to a value that is not a
+	// fresh make(chan): it aliases a channel counted under another
+	// variable, so its own send/receive census proves nothing.
+	markAlias := func(info *types.Info, lhs []ast.Expr, rhs []ast.Expr) {
+		for i, l := range lhs {
+			v, id := chanVar(info, l)
+			if v == nil {
+				continue
+			}
+			consumed[id] = true
+			if len(rhs) == len(lhs) && isMakeChan(info, rhs[i]) {
+				record(v).fresh = true
+			} else {
+				record(v).escapes = true
+			}
+		}
+	}
+
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if v, id := chanVar(info, n.Chan); v != nil {
+						cu := record(v)
+						cu.sends++
+						if cu.firstSend == token.NoPos {
+							cu.firstSend = n.Pos()
+						}
+						consumed[id] = true
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if v, id := chanVar(info, n.X); v != nil {
+							record(v).recvs++
+							consumed[id] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if v, id := chanVar(info, n.X); v != nil {
+						record(v).recvs++
+						consumed[id] = true
+					}
+				case *ast.CallExpr:
+					if fun, ok := n.Fun.(*ast.Ident); ok {
+						if obj, isB := info.Uses[fun].(*types.Builtin); isB {
+							switch obj.Name() {
+							case "close", "len", "cap":
+								if len(n.Args) == 1 {
+									if _, id := chanVar(info, n.Args[0]); id != nil {
+										consumed[id] = true
+									}
+								}
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					// Writing the channel variable consumes the LHS
+					// mention; binding it to anything but make(chan ...)
+					// marks it as an alias. The RHS stays subject to
+					// escape analysis.
+					markAlias(info, n.Lhs, n.Rhs)
+				case *ast.ValueSpec:
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, name := range n.Names {
+						lhs[i] = name
+					}
+					if len(n.Values) > 0 {
+						markAlias(info, lhs, n.Values)
+					} else {
+						// var ch chan T with no initializer: the nil
+						// declaration itself is a consumed mention.
+						for _, l := range lhs {
+							if _, id := chanVar(info, l); id != nil {
+								consumed[id] = true
+							}
+						}
+					}
+				case *ast.BinaryExpr:
+					// Nil checks don't leak the value.
+					if n.Op == token.EQL || n.Op == token.NEQ {
+						if isNilExprIdent(info, n.Y) {
+							if _, id := chanVar(info, n.X); id != nil {
+								consumed[id] = true
+							}
+						}
+						if isNilExprIdent(info, n.X) {
+							if _, id := chanVar(info, n.Y); id != nil {
+								consumed[id] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Escape pass: any mention of a tracked channel outside the consumed
+	// contexts (argument, return, alias, container element, field init)
+	// makes its use-set unknowable — skip it.
+	for _, pkg := range p.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || consumed[id] {
+					return true
+				}
+				v, isVar := info.Uses[id].(*types.Var)
+				if !isVar {
+					return true
+				}
+				if cu, tracked := uses[v]; tracked {
+					cu.escapes = true
+				}
+				return true
+			})
+		}
+	}
+
+	var vars []*chanUse
+	for _, cu := range uses { //cdc:allow(maporder) sorted by position below
+		vars = append(vars, cu)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].firstSend < vars[j].firstSend })
+	for _, cu := range vars {
+		if !cu.fresh || cu.sends == 0 || cu.recvs > 0 || cu.escapes {
+			continue
+		}
+		pkg := p.PkgOf(cu.firstSend)
+		if pkg == nil || !p.InScope(pkg.RelPath) {
+			continue
+		}
+		p.Reportf(cu.firstSend,
+			"channel %s is sent on here but never received from anywhere in the module: senders block forever once the buffer fills",
+			cu.v.Name())
+	}
+}
+
+func isNilExprIdent(info *types.Info, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

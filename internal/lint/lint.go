@@ -30,6 +30,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"cdcreplay/internal/lint/callgraph"
 )
 
 // Finding is one rule violation at a source position. File is relative to
@@ -50,11 +52,18 @@ func (f Finding) String() string {
 // Analyzer is one invariant check. Scope lists the module-relative package
 // paths it applies to ("internal/core", "internal/..." for a subtree, "..."
 // for every package); a nil Scope means every package.
+//
+// Exactly one of Run and RunModule is set. Run is the intra-procedural
+// mode: called once per in-scope package. RunModule is the whole-program
+// mode: called once with every loaded package and the module call graph;
+// for these analyzers Scope restricts where findings are *reported* (the
+// sink side), while the analysis universe is the whole module.
 type Analyzer struct {
-	Name  string
-	Doc   string
-	Scope []string
-	Run   func(*Pass)
+	Name      string
+	Doc       string
+	Scope     []string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // Pass hands one package to one analyzer and collects its findings.
@@ -84,6 +93,90 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ModulePass hands the whole loaded module to one interprocedural
+// analyzer: every package, the CHA call graph, and the suppression
+// directives (so an analyzer can treat a reasoned //cdc:allow as a
+// sanctioned source rather than taint).
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *callgraph.Graph
+
+	scope    []string
+	run      *run
+	allowed  map[allowKey]bool
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Check:   p.Analyzer.Name,
+		File:    p.run.relFile(position.Filename),
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether a module-relative package path is inside the
+// analyzer's effective (possibly Config-overridden) scope.
+func (p *ModulePass) InScope(relPath string) bool { return inScope(relPath, p.scope) }
+
+// ScopedPkgs returns the loaded packages inside the effective scope.
+func (p *ModulePass) ScopedPkgs() []*Package {
+	var out []*Package
+	for _, pkg := range p.Pkgs {
+		if p.InScope(pkg.RelPath) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// AllowedAt reports whether an //cdc:allow(check) directive covers pos
+// (its own line or the line below, the same rule applySuppressions uses).
+// Interprocedural analyzers use this to treat inventoried violations as
+// sanctioned: a wall-clock read that carries a reasoned allow(nodeterm)
+// must not re-surface as a taint source three call frames later.
+func (p *ModulePass) AllowedAt(pos token.Pos, check string) bool {
+	position := p.Fset.Position(pos)
+	return p.allowed[allowKey{p.run.relFile(position.Filename), position.Line, check}]
+}
+
+// Rel converts a position to its module-relative file path.
+func (p *ModulePass) Rel(pos token.Pos) string {
+	return p.run.relFile(p.Fset.Position(pos).Filename)
+}
+
+// RelPosition renders pos as "file:line" relative to the module root, the
+// form findings embed when citing a second location (e.g. the source end
+// of a taint path).
+func (p *ModulePass) RelPosition(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.run.relFile(position.Filename), position.Line)
+}
+
+// ShortName renders a function's qualified name with the module-path
+// prefix stripped: "(*internal/record.Recorder).flush" instead of the
+// full import path, keeping taint paths readable.
+func (p *ModulePass) ShortName(fn *types.Func) string {
+	return strings.ReplaceAll(fn.FullName(), p.run.modPath+"/", "")
+}
+
+// PkgOf returns the loaded package a position belongs to, or nil.
+func (p *ModulePass) PkgOf(pos token.Pos) *Package {
+	file := p.Fset.Position(pos).Filename
+	for _, pkg := range p.Pkgs {
+		if strings.HasPrefix(file, pkg.Dir+"/") {
+			return pkg
+		}
+	}
+	return nil
+}
+
 // Config adjusts a Run. The zero value uses each analyzer's default scope.
 type Config struct {
 	// Scopes overrides the package scope per check name. Patterns are
@@ -92,7 +185,9 @@ type Config struct {
 	Scopes map[string][]string
 }
 
-// Analyzers returns the full analyzer set in a fixed order.
+// Analyzers returns the full analyzer set in a fixed order: the six
+// intra-procedural checks from the original framework, then the three
+// interprocedural checks built on the call graph.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NodetermAnalyzer,
@@ -101,7 +196,44 @@ func Analyzers() []*Analyzer {
 		ObsguardAnalyzer,
 		LocksafeAnalyzer,
 		PanicfreeAnalyzer,
+		NodetermflowAnalyzer,
+		LockorderAnalyzer,
+		LeakcheckAnalyzer,
 	}
+}
+
+// SelectAnalyzers resolves a comma-separated -check list against the full
+// set; an empty list selects everything. Unknown names are an error, so a
+// typo cannot silently disable enforcement.
+func SelectAnalyzers(list string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if strings.TrimSpace(list) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q (run -list for the set)", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: -check selected no analyzers")
+	}
+	return out, nil
 }
 
 // CheckNames returns the names of every analyzer plus the directive
@@ -117,7 +249,8 @@ func CheckNames() []string {
 
 // run carries state shared by every pass of one Run call.
 type run struct {
-	root string
+	root    string
+	modPath string
 }
 
 func (r *run) relFile(filename string) string {
@@ -127,27 +260,58 @@ func (r *run) relFile(filename string) string {
 	return filename
 }
 
+// SortFindings orders findings by (file, line, col, check, message).
+// The message tiebreak matters in multi-package runs: two findings from
+// different analyzers (or CHA paths) can land on the same position, and
+// without it the order would depend on package-load order — -json output
+// and the self-check gate must be byte-stable instead.
+func SortFindings(findings []Finding) {
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
 // Run loads the packages matched by patterns under the module rooted at
 // root, applies analyzers, filters suppressed findings, and returns the
-// survivors sorted by position. Load or typecheck failures abort with an
-// error rather than findings: the analyzers need well-typed input.
+// survivors sorted by position. Packages that fail to parse or typecheck
+// surface as LoadErrorCheck findings (and are excluded from analysis);
+// only infrastructure failures — no go.mod, nothing matched — abort with
+// an error.
 func Run(root string, patterns []string, analyzers []*Analyzer, cfg Config) ([]Finding, error) {
-	root, _, err := FindModuleRoot(root)
+	root, modPath, err := FindModuleRoot(root)
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := Load(root, patterns)
+	pkgs, findings, err := Load(root, patterns)
 	if err != nil {
 		return nil, err
 	}
-	r := &run{root: root}
+	r := &run{root: root, modPath: modPath}
 
+	// Directive validation is against the full registry, not the selected
+	// subset: running `cdclint -check leakcheck` must not flag every
+	// //cdc:allow(errsink) in the tree as naming an unknown check.
 	known := make(map[string]bool)
-	for _, a := range analyzers {
+	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
 
-	var findings []Finding
+	// Directives first: the interprocedural passes consult them while
+	// analyzing (a sanctioned source must not taint), so they cannot be
+	// folded into the per-package analyzer loop.
 	var directives []Directive
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
@@ -158,12 +322,24 @@ func Run(root string, patterns []string, analyzers []*Analyzer, cfg Config) ([]F
 				findings = append(findings, f)
 			}
 		}
-		for _, a := range analyzers {
-			scope := a.Scope
-			if s, ok := cfg.Scopes[a.Name]; ok {
-				scope = s
-			}
-			if !inScope(pkg.RelPath, scope) {
+	}
+	allowed := buildAllowed(directives, r)
+
+	effectiveScope := func(a *Analyzer) []string {
+		if s, ok := cfg.Scopes[a.Name]; ok {
+			return s
+		}
+		return a.Scope
+	}
+
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+			continue
+		}
+		for _, pkg := range pkgs {
+			if !inScope(pkg.RelPath, effectiveScope(a)) {
 				continue
 			}
 			pass := &Pass{
@@ -180,20 +356,32 @@ func Run(root string, patterns []string, analyzers []*Analyzer, cfg Config) ([]F
 		}
 	}
 
-	findings = applySuppressions(findings, directives, r)
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.File != b.File {
-			return a.File < b.File
+	if len(moduleAnalyzers) > 0 && len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		cgPkgs := make([]*callgraph.Pkg, len(pkgs))
+		for i, p := range pkgs {
+			cgPkgs[i] = &callgraph.Pkg{
+				Path: p.Path, RelPath: p.RelPath, Files: p.Files, Types: p.Types, Info: p.Info,
+			}
 		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
+		graph := callgraph.Build(fset, cgPkgs)
+		for _, a := range moduleAnalyzers {
+			mp := &ModulePass{
+				Analyzer: a,
+				Fset:     fset,
+				Pkgs:     pkgs,
+				Graph:    graph,
+				scope:    effectiveScope(a),
+				run:      r,
+				allowed:  allowed,
+			}
+			a.RunModule(mp)
+			findings = append(findings, mp.findings...)
 		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Check < b.Check
-	})
+	}
+
+	findings = applySuppressions(findings, allowed)
+	SortFindings(findings)
 	return findings, nil
 }
 

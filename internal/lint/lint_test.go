@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -22,6 +23,12 @@ func fixtureConfig() lint.Config {
 		"obsguard":  {"obsguard", "obs"},
 		"locksafe":  {"locksafe"},
 		"panicfree": {"panicfree"},
+		// Interprocedural analyzers: scoped to their own fixture package;
+		// helper packages (e.g. nodetermflow/ndhelp) stay outside every
+		// scope so only call-graph reasoning can see into them.
+		"nodetermflow": {"nodetermflow"},
+		"lockorder":    {"lockorder"},
+		"leakcheck":    {"leakcheck"},
 	}}
 }
 
@@ -118,6 +125,43 @@ func TestFixtureCorpus(t *testing.T) {
 	for key, substrs := range wants {
 		for _, s := range substrs {
 			t.Errorf("expected finding at %s:%d matching %q, got none", key.file, key.line, s)
+		}
+	}
+}
+
+// TestFindingsDeterministicOrder pins satellite invariant: Run's output is
+// byte-stable regardless of package-load order, because findings are
+// sorted by (file, line, col, check, message) — repeated runs must agree
+// exactly.
+func TestFindingsDeterministicOrder(t *testing.T) {
+	first := runFixtures(t)
+	if !sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message <= b.Message
+	}) {
+		t.Error("findings are not in (file, line, col, check, message) order")
+	}
+	for run := 0; run < 3; run++ {
+		again := runFixtures(t)
+		if len(again) != len(first) {
+			t.Fatalf("run %d produced %d findings, first run %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d finding %d differs: %v != %v", run, i, again[i], first[i])
+			}
 		}
 	}
 }

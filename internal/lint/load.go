@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -51,15 +52,28 @@ func FindModuleRoot(dir string) (root, modPath string, err error) {
 	}
 }
 
+// LoadErrorCheck is the pseudo-check name under which packages that fail
+// to parse or typecheck are reported. A broken package must be a finding
+// (and a distinct exit status in the CLI), never a silent skip: an
+// analyzer that did not see a package enforces nothing there.
+const LoadErrorCheck = "loaderror"
+
 // Load parses and typechecks the packages under the module rooted at root
 // that match patterns ("./..." for all, "./dir/..." for a subtree, "./dir"
 // or "dir" for one package). Test files and testdata/vendor/hidden
 // directories are skipped: the invariants police shipping code, and
 // external test packages would need a second typecheck universe.
-func Load(root string, patterns []string) ([]*Package, error) {
+//
+// Packages that fail to parse or typecheck are excluded from the result
+// and surfaced as LoadErrorCheck findings (positions relative to root)
+// rather than aborting the whole run; packages that import a broken
+// package cascade into their own load findings. The error return is
+// reserved for infrastructure failures: no go.mod, unreadable
+// directories, patterns matching nothing.
+func Load(root string, patterns []string) ([]*Package, []Finding, error) {
 	root, modPath, err := FindModuleRoot(root)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ld := &loader{
 		fset:    token.NewFileSet(),
@@ -67,12 +81,13 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		modPath: modPath,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		broken:  make(map[string]bool),
 	}
 	ld.std = &stdImporter{fset: ld.fset, cache: make(map[string]*types.Package)}
 
 	dirs, err := matchPatterns(root, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []*Package
 	for _, rel := range dirs {
@@ -82,14 +97,17 @@ func Load(root string, patterns []string) ([]*Package, error) {
 		}
 		pkg, err := ld.loadLocal(importPath)
 		if err != nil {
-			return nil, err
+			// loadLocal records the detailed findings itself; the error
+			// only signals "do not analyze this package".
+			continue
 		}
 		if pkg != nil {
 			out = append(out, pkg)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out, nil
+	SortFindings(ld.findings)
+	return out, ld.findings, nil
 }
 
 // matchPatterns expands CLI-style package patterns into sorted
@@ -178,6 +196,28 @@ type loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+	// broken marks packages that failed to parse or typecheck; their
+	// findings live in findings and importers of a broken package fail
+	// in turn (cascading into their own load findings).
+	broken   map[string]bool
+	findings []Finding
+}
+
+// reportLoadError records one load failure as a finding. err may be a
+// types.Error or scanner.ErrorList carrying positions; anything else is
+// anchored at the package directory.
+func (l *loader) reportLoadError(importPath string, pos token.Position, msg string) {
+	file := pos.Filename
+	if rel, err := filepath.Rel(l.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	l.findings = append(l.findings, Finding{
+		Check:   LoadErrorCheck,
+		File:    file,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Message: fmt.Sprintf("package %s failed to load: %s", importPath, msg),
+	})
 }
 
 // Import implements types.Importer for the typechecker.
@@ -196,10 +236,16 @@ func (l *loader) Import(path string) (*types.Package, error) {
 }
 
 // loadLocal parses and typechecks one module-local package. Returns
-// (nil, nil) for directories with no non-test Go files.
+// (nil, nil) for directories with no non-test Go files; a package that
+// fails to parse or typecheck is memoized as broken, its errors recorded
+// as LoadErrorCheck findings, and a plain error returned so importers
+// cascade instead of analyzing half-typed code.
 func (l *loader) loadLocal(importPath string) (*Package, error) {
 	if pkg, ok := l.pkgs[importPath]; ok {
 		return pkg, nil
+	}
+	if l.broken[importPath] {
+		return nil, fmt.Errorf("lint: package %s failed to load", importPath)
 	}
 	if l.loading[importPath] {
 		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
@@ -224,6 +270,8 @@ func (l *loader) loadLocal(importPath string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
+			l.broken[importPath] = true
+			l.reportLoadError(importPath, parseErrorPosition(err, dir, name), err.Error())
 			return nil, err
 		}
 		files = append(files, f)
@@ -240,10 +288,34 @@ func (l *loader) loadLocal(importPath string) (*Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Implicits:  make(map[ast.Node]types.Object),
 	}
-	conf := types.Config{Importer: l}
+	// Collect every type error with its position instead of stopping at
+	// the first: a broken package should read like a compiler run, capped
+	// so one rotten file does not flood the report.
+	var typeErrs []types.Error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				typeErrs = append(typeErrs, te)
+			}
+		},
+	}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: typecheck %s: %w", importPath, err)
+	if err != nil || len(typeErrs) > 0 {
+		l.broken[importPath] = true
+		const maxErrs = 3
+		for i, te := range typeErrs {
+			if i == maxErrs {
+				l.reportLoadError(importPath, l.fset.Position(te.Pos),
+					fmt.Sprintf("... and %d more errors", len(typeErrs)-maxErrs))
+				break
+			}
+			l.reportLoadError(importPath, l.fset.Position(te.Pos), te.Msg)
+		}
+		if len(typeErrs) == 0 {
+			l.reportLoadError(importPath, token.Position{Filename: dir}, err.Error())
+		}
+		return nil, fmt.Errorf("lint: typecheck %s failed", importPath)
 	}
 	pkg := &Package{
 		Path:    importPath,
@@ -256,6 +328,15 @@ func (l *loader) loadLocal(importPath string) (*Package, error) {
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// parseErrorPosition extracts the first position from a parser error
+// (scanner.ErrorList), falling back to the file itself.
+func parseErrorPosition(err error, dir, name string) token.Position {
+	if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+		return list[0].Pos
+	}
+	return token.Position{Filename: filepath.Join(dir, name), Line: 1, Column: 1}
 }
 
 // stdImporter resolves standard-library packages: compiled export data

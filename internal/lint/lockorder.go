@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cdcreplay/internal/lint/callgraph"
+)
+
+// LockorderAnalyzer builds the module's lock-acquisition graph and
+// reports cycles — the static shadow of a deadlock. A node is a lock
+// identity (a sync.Mutex/RWMutex struct field keyed by its owning type,
+// a package-level mutex var, or a named type with an embedded mutex); an
+// edge A → B means "somewhere, B is acquired while A is held", either in
+// the same function body or through a call made with A held into a
+// function whose transitive summary acquires B. A cycle means two
+// goroutines can block on each other's held lock; the finding carries
+// the full witness path with the site of every edge.
+//
+// The model is deliberately an over-approximation: statements are walked
+// in source order without branch sensitivity, `defer mu.Unlock()` holds
+// to function exit, and interface calls fan out to every implementation
+// (CHA). Locks held only inside `go`-launched or deferred literals do
+// not extend the spawner's held set (they run in a different schedule
+// position). Local mutex variables are ignored: their instances are
+// per-call and the field/global keys are where cross-goroutine ordering
+// lives. Intentional cycles (e.g. ordered by an invariant the analyzer
+// cannot see) are suppressed at the reported site with
+// //cdc:allow(lockorder) <reason>.
+var LockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc: "build the lock-acquisition order graph across the call graph " +
+		"and report cycles (potential deadlocks) with witness paths",
+	RunModule: runLockorder,
+}
+
+// lockEvent is one ordered observation inside a function body. Call
+// events carry only their site; callees are resolved through the call
+// graph's edges at that site, which honors CHA interface fan-out.
+type lockEvent struct {
+	kind  int // lockAcquire, lockRelease, lockCall
+	key   string
+	rlock bool
+	site  token.Pos
+}
+
+const (
+	lockAcquire = iota
+	lockRelease
+	lockCall
+)
+
+// lockEdge is one "B acquired while A held" observation.
+type lockEdge struct {
+	from, to string
+	site     token.Pos
+	// inFn is the function the observation was made in, for the report.
+	inFn string
+	// indirect is set when `to` comes from a callee's summary rather
+	// than a literal Lock() at site.
+	indirect string
+}
+
+func runLockorder(p *ModulePass) {
+	// Phase 1: per-function event streams, restricted to the effective
+	// scope (the default scope is the whole module; fixtures narrow it).
+	events := make(map[*callgraph.Node][]lockEvent)
+	var order []*callgraph.Node
+	for _, pkg := range p.ScopedPkgs() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := p.Graph.Node(fn)
+				if node == nil {
+					continue
+				}
+				evs := collectLockEvents(pkg.Info, fd.Body)
+				if len(evs) > 0 {
+					events[node] = evs
+					order = append(order, node)
+				}
+			}
+		}
+	}
+
+	// Phase 2: transitive acquire summaries over the call graph
+	// (worklist fixpoint; Ref and Go edges excluded — a referenced
+	// function may never run here, and a spawned one runs elsewhere).
+	summaries := lockSummaries(p, events, order)
+
+	// Phase 3: replay each event stream with a held-set, emitting edges.
+	edges := make(map[[2]string]lockEdge)
+	for _, n := range order {
+		addLockEdgesFor(p, n, events[n], summaries, edges)
+	}
+
+	reportLockCycles(p, edges)
+}
+
+// lockKeyOf names the lock identity behind the receiver expression of a
+// Lock/Unlock call, or "" when the expression is not a trackable lock
+// (locals, anonymous struct fields, map/slice elements).
+func lockKeyOf(info *types.Info, expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+			continue
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				expr = e.X
+				continue
+			}
+		case *ast.StarExpr:
+			expr = e.X
+			continue
+		}
+		break
+	}
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if base := namedOf(sel.Recv()); base != nil {
+				return typeKey(base) + "." + e.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified var: pkg.mu.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && varIsPackageLevel(v) {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := info.Uses[e].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if varIsPackageLevel(v) {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+		// A local or parameter whose type embeds the mutex: key by the
+		// named type — all instances share the ordering discipline.
+		if named := namedOf(v.Type()); named != nil {
+			return typeKey(named)
+		}
+	}
+	return ""
+}
+
+func typeKey(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func varIsPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// lockMethodTarget resolves a call to (*sync.Mutex)/(*sync.RWMutex)
+// Lock-family methods and returns the lock key plus the method name.
+func lockMethodTarget(info *types.Info, call *ast.CallExpr) (key, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	if named := namedOf(recv.Type()); named == nil ||
+		(named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		return lockKeyOf(info, sel.X), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// collectLockEvents linearizes one function body into lock events.
+// Literals launched by go/defer statements are separate schedule
+// contexts: their contents neither extend the enclosing held-set nor
+// inherit it (their own edges come from their own enclosing walk, and a
+// deferred Unlock is modeled as hold-to-exit by skipping the release).
+func collectLockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	detachedLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				detachedLits[lit] = true
+			}
+		case *ast.GoStmt:
+			deferredCalls[n.Call] = true
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				detachedLits[lit] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if detachedLits[n] {
+				return false
+			}
+		case *ast.CallExpr:
+			if key, method := lockMethodTarget(info, n); method != "" {
+				if key == "" {
+					return true
+				}
+				switch method {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if !deferredCalls[n] {
+						events = append(events, lockEvent{
+							kind: lockAcquire, key: key,
+							rlock: strings.Contains(method, "R"), site: n.Pos(),
+						})
+					}
+				case "Unlock", "RUnlock":
+					if !deferredCalls[n] {
+						events = append(events, lockEvent{kind: lockRelease, key: key, site: n.Pos()})
+					}
+					// Deferred unlock: the lock is held to exit; no event.
+				}
+				return true
+			}
+			if deferredCalls[n] {
+				// go f() / defer f(): f's acquisitions happen outside
+				// this flow position.
+				return true
+			}
+			events = append(events, lockEvent{kind: lockCall, site: n.Pos()})
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return events
+}
+
+// calleesAt resolves the module-local functions a call site can reach:
+// the graph's static and CHA-interface edges at that exact position.
+// Ref edges (function values) and go-launched calls are excluded — a
+// referenced function may never run here and a spawned one runs in a
+// different schedule position.
+func calleesAt(n *callgraph.Node, site token.Pos) []*callgraph.Node {
+	var out []*callgraph.Node
+	for _, e := range n.Out {
+		if e.Site != site || e.Kind == callgraph.KindRef || e.Go || !e.Callee.Local() {
+			continue
+		}
+		out = append(out, e.Callee)
+	}
+	return out
+}
+
+// lockSummaries computes the transitive acquire-set of every function
+// with lock events, by worklist fixpoint over the call graph. Functions
+// without events contribute nothing of their own but still propagate
+// their callees' sets, so a lock acquired three frames down is visible
+// at the top.
+func lockSummaries(p *ModulePass, events map[*callgraph.Node][]lockEvent, order []*callgraph.Node) map[*callgraph.Node]map[string]bool {
+	summaries := make(map[*callgraph.Node]map[string]bool)
+	// Fixpoint: iterate until no set grows. The module's lock-key
+	// universe is small, so this terminates quickly; iteration over the
+	// deterministic order keeps behavior reproducible (the result is a
+	// set union, order-insensitive anyway).
+	changed := true
+	for changed {
+		changed = false
+		for _, n := range order {
+			s := summaries[n]
+			if s == nil {
+				s = make(map[string]bool)
+				summaries[n] = s
+			}
+			before := len(s)
+			for _, ev := range events[n] {
+				switch ev.kind {
+				case lockAcquire:
+					s[ev.key] = true
+				case lockCall:
+					for _, callee := range calleesAt(n, ev.site) {
+						for k := range summaries[callee] { //cdc:allow(maporder) set union; order-insensitive
+							s[k] = true
+						}
+					}
+				}
+			}
+			if len(s) != before {
+				changed = true
+			}
+		}
+	}
+	return summaries
+}
+
+// addLockEdgesFor replays one function's events with a held-set and
+// records "to acquired while from held" edges, first witness wins.
+func addLockEdgesFor(p *ModulePass, n *callgraph.Node, evs []lockEvent, summaries map[*callgraph.Node]map[string]bool, edges map[[2]string]lockEdge) {
+	var held []string
+	holding := make(map[string]int)
+	emit := func(from, to string, site token.Pos, indirect string) {
+		if from == to {
+			return
+		}
+		k := [2]string{from, to}
+		if _, ok := edges[k]; ok {
+			return
+		}
+		edges[k] = lockEdge{from: from, to: to, site: site, inFn: p.ShortName(n.Func), indirect: indirect}
+	}
+	for _, ev := range evs {
+		switch ev.kind {
+		case lockAcquire:
+			for _, h := range held {
+				emit(h, ev.key, ev.site, "")
+			}
+			if holding[ev.key] == 0 {
+				held = append(held, ev.key)
+			}
+			holding[ev.key]++
+		case lockRelease:
+			if holding[ev.key] > 0 {
+				holding[ev.key]--
+				if holding[ev.key] == 0 {
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == ev.key {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+		case lockCall:
+			if len(held) == 0 {
+				continue
+			}
+			for _, callee := range calleesAt(n, ev.site) {
+				summary := summaries[callee]
+				if len(summary) == 0 {
+					continue
+				}
+				keys := make([]string, 0, len(summary))
+				for k := range summary { //cdc:allow(maporder) sorted on the next line
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, h := range held {
+					for _, k := range keys {
+						emit(h, k, ev.site, p.ShortName(callee.Func))
+					}
+				}
+			}
+		}
+	}
+}
+
+// reportLockCycles finds cycles in the acquisition graph and reports
+// each once, anchored at the first edge's witness site, with the full
+// path in the message.
+func reportLockCycles(p *ModulePass, edges map[[2]string]lockEdge) {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k := range edges { //cdc:allow(maporder) adjacency lists are sorted below
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	var names []string
+	for n := range nodes { //cdc:allow(maporder) sorted on the next line
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sort.Strings(adj[n])
+	}
+
+	seen := make(map[string]bool)
+	var path []string
+	onPath := make(map[string]bool)
+	var dfs func(string)
+	var cycles [][]string
+	visited := make(map[string]bool)
+	dfs = func(n string) {
+		path = append(path, n)
+		onPath[n] = true
+		for _, m := range adj[n] {
+			if onPath[m] {
+				// Extract the cycle m ... n → m.
+				start := 0
+				for i, v := range path {
+					if v == m {
+						start = i
+						break
+					}
+				}
+				cyc := append([]string(nil), path[start:]...)
+				if key := canonicalCycle(cyc); !seen[key] {
+					seen[key] = true
+					cycles = append(cycles, cyc)
+				}
+				continue
+			}
+			if !visited[m] {
+				dfs(m)
+			}
+		}
+		// Note: nodes are not marked globally visited until their whole
+		// subtree is done, so distinct cycles through shared nodes are
+		// still found from later roots.
+		onPath[n] = false
+		path = path[:len(path)-1]
+		visited[n] = true
+	}
+	for _, n := range names {
+		if !visited[n] {
+			dfs(n)
+		}
+	}
+
+	for _, cyc := range cycles {
+		// Rotate so the smallest key leads: stable anchor and message.
+		rot := canonicalRotate(cyc)
+		var steps []string
+		for i := range rot {
+			from, to := rot[i], rot[(i+1)%len(rot)]
+			e := edges[[2]string{from, to}]
+			loc := p.RelPosition(e.site)
+			if e.indirect != "" {
+				steps = append(steps, fmt.Sprintf("%s → %s (call into %s at %s, in %s)", from, to, e.indirect, loc, e.inFn))
+			} else {
+				steps = append(steps, fmt.Sprintf("%s → %s (locked at %s, in %s)", from, to, loc, e.inFn))
+			}
+		}
+		first := edges[[2]string{rot[0], rot[1%len(rot)]}]
+		p.Reportf(first.site,
+			"lock-order cycle (potential deadlock): %s; acquire these locks in one global order or document the invariant with //cdc:allow(lockorder)",
+			strings.Join(steps, "; "))
+	}
+}
+
+func canonicalRotate(cyc []string) []string {
+	min := 0
+	for i, v := range cyc {
+		if v < cyc[min] {
+			min = i
+		}
+	}
+	return append(append([]string(nil), cyc[min:]...), cyc[:min]...)
+}
+
+func canonicalCycle(cyc []string) string {
+	return strings.Join(canonicalRotate(cyc), "→")
+}

@@ -51,7 +51,7 @@ func runMaporder(pass *Pass) {
 			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if kind := maporderSink(pass, rng.Body); kind != "" {
+			if kind := maporderSink(pass.Info, rng.Body); kind != "" {
 				pass.Reportf(rng.Pos(),
 					"range over map %s inside this loop: map iteration order is randomized, so the produced order differs between record and replay",
 					kind)
@@ -62,8 +62,10 @@ func runMaporder(pass *Pass) {
 }
 
 // maporderSink scans a map-range body for the first order-sensitive write
-// and describes it, or returns "" if the body only aggregates.
-func maporderSink(pass *Pass, body *ast.BlockStmt) string {
+// and describes it, or returns "" if the body only aggregates. It is
+// shared with the interprocedural nodetermflow analyzer, which treats
+// order-leaking ranges anywhere in the module as taint sources.
+func maporderSink(info *types.Info, body *ast.BlockStmt) string {
 	kind := ""
 	ast.Inspect(body, func(n ast.Node) bool {
 		if kind != "" {
@@ -73,12 +75,12 @@ func maporderSink(pass *Pass, body *ast.BlockStmt) string {
 		case *ast.CallExpr:
 			switch fun := n.Fun.(type) {
 			case *ast.Ident:
-				if obj, ok := pass.Info.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
+				if obj, ok := info.Uses[fun].(*types.Builtin); ok && obj.Name() == "append" {
 					kind = "appends to a slice"
 					return false
 				}
 			case *ast.SelectorExpr:
-				obj := pass.Info.Uses[fun.Sel]
+				obj := info.Uses[fun.Sel]
 				if obj == nil {
 					return true
 				}
@@ -87,7 +89,7 @@ func maporderSink(pass *Pass, body *ast.BlockStmt) string {
 					return false
 				}
 				// Method call on some receiver: Write-family or hash Sum.
-				if _, isSel := pass.Info.Selections[fun]; isSel && maporderWriteMethods[obj.Name()] {
+				if _, isSel := info.Selections[fun]; isSel && maporderWriteMethods[obj.Name()] {
 					kind = "calls " + obj.Name() + " on an ordered sink"
 					return false
 				}
@@ -98,7 +100,7 @@ func maporderSink(pass *Pass, body *ast.BlockStmt) string {
 				if !ok {
 					continue
 				}
-				if tv, ok := pass.Info.Types[idx.X]; ok {
+				if tv, ok := info.Types[idx.X]; ok {
 					if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
 						kind = "stores into slice elements"
 						return false

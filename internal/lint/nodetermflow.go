@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"cdcreplay/internal/lint/callgraph"
+)
+
+// NodetermflowAnalyzer is the interprocedural extension of nodeterm: it
+// propagates taint from nondeterminism sources — wall-clock reads,
+// math/rand, order-leaking map iteration, goroutine-population probes —
+// through arbitrarily deep helper chains, and reports every call edge by
+// which a function in the deterministic sink packages (encode, record,
+// store) first reaches one. nodeterm only sees a time.Now written
+// directly inside a scoped package; this pass sees the same read hidden
+// one (or ten) helper calls away, in any package of the module.
+//
+// Sanctioned sources do not taint: a call that carries a reasoned
+// //cdc:allow(nodeterm) (or //cdc:allow(nodetermflow)), and a map range
+// carrying //cdc:allow(maporder), are vouched deterministic-in-effect by
+// their inventory reason, so paths through them are not findings. The
+// finding message embeds the full source→sink witness path.
+var NodetermflowAnalyzer = &Analyzer{
+	Name: "nodetermflow",
+	Doc: "taint nondeterminism sources (wall clock, math/rand, map order, " +
+		"goroutine counts) through helper chains into the deterministic " +
+		"encode/record/store packages",
+	Scope: []string{
+		"internal/cdcformat",
+		"internal/lpe",
+		"internal/permdiff",
+		"internal/varint",
+		"internal/tables",
+		"internal/lamport",
+		"internal/core",
+		"internal/record",
+		"internal/store/...",
+	},
+	RunModule: runNodetermflow,
+}
+
+// nodetermflowSource describes an external function that samples
+// nondeterministic state, or "" for anything else.
+func nodetermflowSource(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if nodetermClockFuncs[fn.Name()] {
+			return "time." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		// Only the package-level draw functions are nondeterministic:
+		// they sample the process-global source, which Go seeds randomly.
+		// Methods on an explicitly constructed *rand.Rand, and the
+		// New/NewSource constructors themselves, are pure functions of
+		// the caller's seed — if that seed comes from the wall clock, the
+		// time.Now call is the source and is flagged on its own.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return ""
+		}
+		if fn.Name() == "New" || fn.Name() == "NewSource" || fn.Name() == "NewPCG" || fn.Name() == "NewChaCha8" || fn.Name() == "NewZipf" {
+			return ""
+		}
+		return pkg.Name() + "." + fn.Name()
+	case "os":
+		if fn.Name() == "Getpid" {
+			return "os.Getpid"
+		}
+	case "runtime":
+		// Goroutine-population probes: the closest thing to a goroutine
+		// ID the stdlib exposes, and just as schedule-dependent.
+		if fn.Name() == "NumGoroutine" || fn.Name() == "Stack" {
+			return "runtime." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// taintInfo records how a tainted function reaches its nondeterminism
+// source: the human description, the source position, and the next edge
+// along a shortest witness path (absent when the source is a map range in
+// the function's own body).
+type taintInfo struct {
+	source  string
+	srcPos  token.Pos
+	next    callgraph.Edge
+	hasNext bool
+	dist    int
+}
+
+func runNodetermflow(p *ModulePass) {
+	g := p.Graph
+	taint := make(map[*callgraph.Node]taintInfo)
+	var queue []*callgraph.Node
+	seed := func(n *callgraph.Node, ti taintInfo) {
+		if _, ok := taint[n]; ok {
+			return
+		}
+		taint[n] = ti
+		queue = append(queue, n)
+	}
+
+	// Seed 1: module functions that call an external nondeterminism
+	// source without a sanctioning directive. Funcs() is sorted and
+	// out-edges are in source order, so seeding is deterministic.
+	for _, n := range g.Funcs() {
+		if !n.Local() {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee.Local() {
+				continue
+			}
+			desc := nodetermflowSource(e.Callee.Func)
+			if desc == "" {
+				continue
+			}
+			if p.AllowedAt(e.Site, NodetermAnalyzer.Name) || p.AllowedAt(e.Site, "nodetermflow") {
+				continue
+			}
+			seed(n, taintInfo{source: desc, srcPos: e.Site, next: e, hasNext: true, dist: 1})
+			break
+		}
+	}
+
+	// Seed 2: module functions whose body ranges over a map in an
+	// order-leaking way (same detector the intra-procedural maporder
+	// uses) without a sanctioning directive.
+	for _, pkg := range p.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := g.Node(fn)
+				if node == nil {
+					continue
+				}
+				rangePos := leakyMapRange(p, pkg, fd.Body)
+				if rangePos == token.NoPos {
+					continue
+				}
+				seed(node, taintInfo{source: "map iteration order", srcPos: rangePos})
+			}
+		}
+	}
+
+	// Propagate taint to callers breadth-first; the first (shortest)
+	// path to each function wins and becomes its witness.
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		ti := taint[n]
+		for _, e := range n.In {
+			caller := e.Caller
+			if caller == nil || !caller.Local() {
+				continue
+			}
+			if _, ok := taint[caller]; ok {
+				continue
+			}
+			taint[caller] = taintInfo{
+				source: ti.source, srcPos: ti.srcPos,
+				next: e, hasNext: true, dist: ti.dist + 1,
+			}
+			queue = append(queue, caller)
+		}
+	}
+
+	// Report: every call edge from a sink-scope function into a tainted
+	// module-local callee. Direct source calls (external callee) are
+	// nodeterm's intra-procedural business and are not re-reported here.
+	type repKey struct{ caller, callee *callgraph.Node }
+	reported := make(map[repKey]bool)
+	for _, n := range g.Funcs() {
+		if !n.Local() || n.Pkg == nil || !p.InScope(n.Pkg.RelPath) {
+			continue
+		}
+		for _, e := range n.Out {
+			callee := e.Callee
+			if !callee.Local() || callee == n {
+				continue
+			}
+			ti, ok := taint[callee]
+			if !ok {
+				continue
+			}
+			k := repKey{n, callee}
+			if reported[k] {
+				continue
+			}
+			reported[k] = true
+			p.Reportf(e.Site,
+				"call chain reaches nondeterminism source %s (%s): %s → %s; the recorded order must not depend on wall clock, randomness, or map order",
+				ti.source, p.RelPosition(ti.srcPos), p.ShortName(n.Func), renderTaintPath(p, callee, taint))
+		}
+	}
+}
+
+// leakyMapRange returns the position of the first unsanctioned
+// order-leaking map range in body, or NoPos.
+func leakyMapRange(p *ModulePass, pkg *Package, body *ast.BlockStmt) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if maporderSink(pkg.Info, rng.Body) == "" {
+			return true
+		}
+		if p.AllowedAt(rng.Pos(), MaporderAnalyzer.Name) || p.AllowedAt(rng.Pos(), "nodetermflow") {
+			return true
+		}
+		pos = rng.Pos()
+		return false
+	})
+	return pos
+}
+
+// renderTaintPath walks the witness chain from a tainted node down to its
+// source and renders it as "helper → deeper → time.Now".
+func renderTaintPath(p *ModulePass, n *callgraph.Node, taint map[*callgraph.Node]taintInfo) string {
+	var parts []string
+	cur := n
+	for range [32]struct{}{} {
+		ti, ok := taint[cur]
+		if !ok {
+			break
+		}
+		parts = append(parts, p.ShortName(cur.Func))
+		if !ti.hasNext {
+			parts = append(parts, ti.source+" at "+p.RelPosition(ti.srcPos))
+			break
+		}
+		next := ti.next.Callee
+		if !next.Local() {
+			parts = append(parts, ti.source)
+			break
+		}
+		cur = next
+	}
+	return strings.Join(parts, " → ")
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the format CI code-scanning upload endpoints
+// consume to annotate PRs inline. The structs model exactly the subset
+// cdclint emits; field names follow the OASIS schema.
+
+// SARIFSchemaURI and SARIFVersion identify the document format.
+const (
+	SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	SARIFVersion   = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	// URI is the module-relative file path (forward slashes), resolved
+	// by consumers against the checkout root.
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as one SARIF 2.1.0 run. The rule table
+// covers every analyzer plus the directive and loaderror pseudo-checks,
+// in sorted order, so ruleIndex is stable across runs regardless of
+// which rules fired.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	rules, index := sarifRules()
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		ri, ok := index[f.Check]
+		if !ok {
+			// A check outside the registry (should not happen) still
+			// must produce a valid document: extend the table.
+			ri = len(rules)
+			index[f.Check] = ri
+			rules = append(rules, sarifRule{ID: f.Check, ShortDescription: sarifMessage{Text: f.Check}})
+		}
+		line := f.Line
+		if line < 1 {
+			// SARIF regions are 1-based; a position-less finding (e.g. a
+			// directory-level load error) anchors at line 1.
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Check,
+			RuleIndex: ri,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: SARIFVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "cdclint", InformationURI: "https://example.invalid/cdcreplay/DESIGN.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifRules builds the stable rule table: every analyzer, the directive
+// pseudo-check, and the loaderror pseudo-check, sorted by id.
+func sarifRules() ([]sarifRule, map[string]int) {
+	descs := map[string]string{
+		DirectiveCheck: "malformed or unjustified cdc suppression directive",
+		LoadErrorCheck: "package failed to parse or typecheck and was not analyzed",
+	}
+	names := []string{DirectiveCheck, LoadErrorCheck}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+		descs[a.Name] = a.Doc
+	}
+	sort.Strings(names)
+	rules := make([]sarifRule, 0, len(names))
+	index := make(map[string]int, len(names))
+	for i, name := range names {
+		index[name] = i
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifMessage{Text: descs[name]}})
+	}
+	return rules, index
+}

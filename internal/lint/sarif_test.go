@@ -1,0 +1,164 @@
+package lint_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"cdcreplay/internal/lint"
+)
+
+// sarifDoc mirrors the subset of SARIF 2.1.0 cdclint emits, for
+// round-trip validation.
+type sarifDoc struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func decodeSARIF(t *testing.T, findings []lint.Finding) sarifDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, findings); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestSARIFRoundTrip renders the fixture findings as SARIF and checks the
+// document structure: schema/version header, one run, a complete sorted
+// rule table, and one result per finding with a resolvable ruleIndex and a
+// 1-based region.
+func TestSARIFRoundTrip(t *testing.T) {
+	findings := runFixtures(t)
+	doc := decodeSARIF(t, findings)
+
+	if doc.Schema != lint.SARIFSchemaURI {
+		t.Errorf("$schema = %q, want %q", doc.Schema, lint.SARIFSchemaURI)
+	}
+	if doc.Version != lint.SARIFVersion {
+		t.Errorf("version = %q, want %q", doc.Version, lint.SARIFVersion)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "cdclint" {
+		t.Errorf("driver name = %q, want cdclint", run.Tool.Driver.Name)
+	}
+
+	// The rule table covers every analyzer plus the two pseudo-checks,
+	// sorted by id, each with a non-empty description.
+	wantRules := []string{lint.DirectiveCheck, lint.LoadErrorCheck}
+	for _, a := range lint.Analyzers() {
+		wantRules = append(wantRules, a.Name)
+	}
+	sort.Strings(wantRules)
+	var gotRules []string
+	for _, r := range run.Tool.Driver.Rules {
+		gotRules = append(gotRules, r.ID)
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+	}
+	if !sort.StringsAreSorted(gotRules) {
+		t.Errorf("rule table is not sorted: %v", gotRules)
+	}
+	if len(gotRules) != len(wantRules) {
+		t.Errorf("rule table = %v, want %v", gotRules, wantRules)
+	} else {
+		for i := range wantRules {
+			if gotRules[i] != wantRules[i] {
+				t.Errorf("rule[%d] = %s, want %s", i, gotRules[i], wantRules[i])
+			}
+		}
+	}
+
+	if len(run.Results) != len(findings) {
+		t.Fatalf("got %d results, want %d findings", len(run.Results), len(findings))
+	}
+	for i, res := range run.Results {
+		f := findings[i]
+		if res.RuleID != f.Check {
+			t.Errorf("result %d ruleId = %q, want %q", i, res.RuleID, f.Check)
+		}
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[res.RuleIndex].ID != f.Check {
+			t.Errorf("result %d ruleIndex %d does not resolve to %q", i, res.RuleIndex, f.Check)
+		}
+		if res.Level != "error" {
+			t.Errorf("result %d level = %q, want error", i, res.Level)
+		}
+		if res.Message.Text != f.Message {
+			t.Errorf("result %d message = %q, want %q", i, res.Message.Text, f.Message)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != f.File {
+			t.Errorf("result %d uri = %q, want %q", i, loc.ArtifactLocation.URI, f.File)
+		}
+		if loc.Region.StartLine < 1 {
+			t.Errorf("result %d startLine = %d, want >= 1", i, loc.Region.StartLine)
+		}
+	}
+}
+
+// TestSARIFEmpty checks a clean run still yields a valid document with an
+// empty (non-null) results array — what CI uploads on green runs.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteSARIF(&buf, nil); err != nil {
+		t.Fatalf("WriteSARIF(nil): %v", err)
+	}
+	var raw struct {
+		Runs []struct {
+			Results json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(raw.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(raw.Runs))
+	}
+	if string(raw.Runs[0].Results) != "[]" {
+		t.Errorf("empty results render as %s, want []", raw.Runs[0].Results)
+	}
+}

@@ -1,0 +1,6 @@
+// Package bad fails to typecheck: the loader must surface this as a
+// loaderror finding instead of silently skipping the package.
+package bad
+
+// Mismatch is a deliberate type error.
+var Mismatch int = "not an int"

@@ -1,0 +1,8 @@
+// Package dep imports a broken package: the import cascade is reported
+// against this package too, so "not analyzed" is visible at every level.
+package dep
+
+import "broken/bad"
+
+// Uses keeps the import live.
+func Uses() int { return bad.Mismatch }

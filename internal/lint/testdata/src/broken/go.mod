@@ -1,0 +1,3 @@
+module broken
+
+go 1.22

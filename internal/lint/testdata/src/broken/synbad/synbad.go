@@ -1,0 +1,7 @@
+// Package synbad fails to parse: a syntax error is a loaderror finding
+// with the scanner's position.
+package synbad
+
+func Broken() {
+	if {
+}

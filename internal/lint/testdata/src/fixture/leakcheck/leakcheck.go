@@ -1,0 +1,130 @@
+// Package leakcheck exercises the goroutine/channel hygiene analyzer:
+// goroutines spawned with no reachable stop signal and channels sent on
+// but never drained.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+// Spin leaks: the spawned literal loops unconditionally with no select,
+// receive, context, or exit in reach.
+func Spin() {
+	go func() { // want "no stop signal"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// SpawnWorker leaks one frame down: the unstopped loop lives in the named
+// worker function the go statement targets.
+func SpawnWorker() {
+	go worker() // want "no stop signal"
+}
+
+func worker() {
+	for {
+		step()
+	}
+}
+
+func step() {}
+
+// WatchContext is stoppable: the select on ctx.Done gives the loop an
+// exit.
+func WatchContext(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				step()
+			}
+		}
+	}()
+}
+
+// Drain is stoppable: ranging over a channel ends when the sender closes
+// it.
+func Drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Pump is stoppable: the loop blocks on a receive.
+func Pump(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// Bounded is stoppable: the loop can break.
+func Bounded() {
+	go func() {
+		n := 0
+		for {
+			n++
+			if n > 10 {
+				break
+			}
+		}
+	}()
+}
+
+// Waiter is stoppable: sync.WaitGroup.Wait blocks until peers finish.
+func Waiter(wg *sync.WaitGroup) {
+	go func() {
+		for {
+			wg.Wait()
+			return
+		}
+	}()
+}
+
+// Undrained sends on a channel no function in the module ever receives
+// from: the send blocks forever once the buffer is full.
+func Undrained() {
+	ch := make(chan int, 1)
+	ch <- 1 // want "never received"
+}
+
+// DrainedLocally pairs its send with a receive: not a finding.
+func DrainedLocally() int {
+	ch := make(chan int, 1)
+	ch <- 1
+	return <-ch
+}
+
+// Escaping hands its channel to another function: the use-set is
+// unknowable, so the analyzer stays silent rather than guessing.
+func Escaping() {
+	ch := make(chan int)
+	go consume(ch)
+	ch <- 1
+}
+
+func consume(ch chan int) {
+	<-ch
+}
+
+// SuppressedDaemon documents an intentional run-forever goroutine.
+func SuppressedDaemon() {
+	go func() { //cdc:allow(leakcheck) fixture: daemon loop, stopped only by process exit
+		for {
+			step()
+		}
+	}()
+}

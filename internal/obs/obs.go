@@ -173,7 +173,7 @@ func (h *Histogram) StartTimer() func() {
 	if h == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := time.Now() //cdc:allow(nodetermflow) timer hook measures handler latency for metrics only
 	return func() { h.ObserveDuration(time.Since(start)) }
 }
 
@@ -270,7 +270,7 @@ func (e SpanEnd) End() {
 	if e.r == nil {
 		return
 	}
-	sp := Span{Name: e.name, Start: e.start, Duration: time.Since(e.start)}
+	sp := Span{Name: e.name, Start: e.start, Duration: time.Since(e.start)} //cdc:allow(nodetermflow) span duration is observability metadata; it never reaches encoded bytes
 	for _, h := range e.r.hooks.Load().([]SpanHook) {
 		h(sp)
 	}
@@ -366,7 +366,7 @@ func (r *Registry) StartSpan(name string) SpanEnd {
 	if r == nil || !r.hasHooks.Load() {
 		return SpanEnd{}
 	}
-	return SpanEnd{r: r, name: name, start: time.Now()}
+	return SpanEnd{r: r, name: name, start: time.Now()} //cdc:allow(nodetermflow) span start stamp is observability metadata; it never reaches encoded bytes
 }
 
 // GaugeSnapshot is a gauge's captured state.

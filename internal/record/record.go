@@ -167,7 +167,7 @@ func (r *Recorder) cdcThread() {
 	var err error
 	fl, canFlush := r.backend.(flusher)
 	timedFlush := canFlush && r.opts.FlushInterval > 0
-	lastFlush := time.Now()
+	lastFlush := time.Now() //cdc:allow(nodetermflow) wall clock only paces background flushes; row order is fixed before rows reach the flusher
 	rowsSinceFlush := 0
 	var lastClock uint64
 	// A flush that comes due mid-group (the producer enqueues one row per
@@ -217,19 +217,19 @@ func (r *Recorder) cdcThread() {
 		if err != nil || !canFlush {
 			return
 		}
-		start := time.Now()
+		start := time.Now() //cdc:allow(nodetermflow) flush span timing is observability metadata only
 		span := r.obsReg.StartSpan("record.flush")
 		flushPendingUnmatched(0, true)
 		if err == nil {
 			latch(fl.FlushAll(lastClock))
 		}
 		span.End()
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //cdc:allow(nodetermflow) flush duration feeds the busy metric only
 		busy += elapsed
 		r.mFlushNs.ObserveDuration(elapsed)
 		r.mBatchRows.Observe(uint64(rowsSinceFlush))
 		r.mFlushes.Inc()
-		lastFlush = time.Now()
+		lastFlush = time.Now() //cdc:allow(nodetermflow) wall clock only paces background flushes
 		rowsSinceFlush = 0
 		pendingFlush = false
 	}
@@ -242,7 +242,7 @@ func (r *Recorder) cdcThread() {
 			if done {
 				break
 			}
-			if !ok || time.Since(lastFlush) >= r.opts.FlushInterval {
+			if !ok || time.Since(lastFlush) >= r.opts.FlushInterval { //cdc:allow(nodetermflow) wall clock only paces background flushes
 				if midGroup {
 					pendingFlush = true
 				} else {
@@ -259,7 +259,7 @@ func (r *Recorder) cdcThread() {
 				break
 			}
 		}
-		start := time.Now()
+		start := time.Now() //cdc:allow(nodetermflow) flush duration feeds the busy metric only
 		if item.clock > lastClock {
 			lastClock = item.clock
 		}
@@ -278,7 +278,7 @@ func (r *Recorder) cdcThread() {
 			flushPendingUnmatched(item.callsite, false)
 			observe(item.callsite, item.ev)
 		}
-		busy += time.Since(start)
+		busy += time.Since(start) //cdc:allow(nodetermflow) flush duration feeds the busy metric only
 		r.mRows.Inc()
 		midGroup = item.ev.Flag && item.ev.WithNext
 		rowsSinceFlush++

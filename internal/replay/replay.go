@@ -1161,7 +1161,7 @@ func (rp *Replayer) liveTestall(reqs []*simmpi.Request) (bool, []simmpi.Status, 
 // liveWait blocks in live mode until limit deliveries (all=false) or every
 // slot (all=true) completes, polling below.
 func (rp *Replayer) liveWait(reqs []*simmpi.Request, limit int, all bool, what string) ([]int, []simmpi.Status, error) {
-	deadline := time.Now().Add(rp.opts.Timeout)
+	deadline := time.Now().Add(rp.opts.Timeout) //cdc:allow(nodetermflow) live-wait deadline is a hang guard; grant order is driven by the recorded clocks
 	spins := 0
 	for {
 		if _, err := rp.pollBelow(); err != nil {
@@ -1189,7 +1189,7 @@ func (rp *Replayer) liveWait(reqs []*simmpi.Request, limit int, all bool, what s
 		if spins%64 == 0 {
 			runtime.Gosched()
 		}
-		if spins%1024 == 0 && time.Now().After(deadline) {
+		if spins%1024 == 0 && time.Now().After(deadline) { //cdc:allow(nodetermflow) stall detection deadline; grant order is driven by the recorded clocks
 			return nil, nil, fmt.Errorf("%w: live-phase %s past the record's end (pool %d)", ErrStalled, what, len(rp.pool))
 		}
 	}
@@ -1211,7 +1211,7 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 		}
 	}
 	staged := make([]pooled, 0, g)
-	start := time.Now()
+	start := time.Now() //cdc:allow(nodetermflow) staged-wait deadline is a hang guard; grant order is driven by the recorded clocks
 	deadline := start.Add(rp.opts.Timeout)
 	lastProgress := start
 	// clockWaitStart is set while the stream holds collected-but-unreleasable
@@ -1238,19 +1238,19 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 			progressed = true
 		}
 		if len(staged) == g {
-			rp.mWaitNs.Observe(uint64(time.Since(start)))
+			rp.mWaitNs.Observe(uint64(time.Since(start))) //cdc:allow(nodetermflow) wait latency metric for observability; grants follow the recorded clocks
 			if !clockWaitStart.IsZero() {
-				rp.mClockWaitNs.Add(uint64(time.Since(clockWaitStart)))
+				rp.mClockWaitNs.Add(uint64(time.Since(clockWaitStart))) //cdc:allow(nodetermflow) clock-wait latency metric for observability only
 			}
 			return staged, nil
 		}
 		if rp.mClockWaitNs != nil {
 			if len(s.collected) > 0 {
 				if clockWaitStart.IsZero() {
-					clockWaitStart = time.Now()
+					clockWaitStart = time.Now() //cdc:allow(nodetermflow) clock-wait latency metric for observability only
 				}
 			} else if !clockWaitStart.IsZero() {
-				rp.mClockWaitNs.Add(uint64(time.Since(clockWaitStart)))
+				rp.mClockWaitNs.Add(uint64(time.Since(clockWaitStart))) //cdc:allow(nodetermflow) clock-wait latency metric for observability only
 				clockWaitStart = time.Time{}
 			}
 		}
@@ -1258,8 +1258,8 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 			rp.mStallPolls.Inc()
 		}
 		if progressed {
-			lastProgress = time.Now()
-		} else if len(s.senders) == 0 && rp.opts.OptimisticDelay >= 0 && time.Since(lastProgress) > rp.opts.OptimisticDelay {
+			lastProgress = time.Now() //cdc:allow(nodetermflow) optimistic-delay progress stamp; grants still follow the recorded clocks
+		} else if len(s.senders) == 0 && rp.opts.OptimisticDelay >= 0 && time.Since(lastProgress) > rp.opts.OptimisticDelay { //cdc:allow(nodetermflow) optimistic-delay heuristic for live mode; recorded-order grants are unaffected
 			// Strict Axiom 1 cannot certify a candidate; release the best
 			// guess to keep the system live. The end-of-chunk
 			// verification in verifyChunk rejects a wrong guess. A
@@ -1271,7 +1271,7 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 				staged = append(staged, s.takeAt(k, s.t+len(staged)))
 				rp.stats.OptimisticReleases++
 				rp.mOptimistic.Inc()
-				lastProgress = time.Now()
+				lastProgress = time.Now() //cdc:allow(nodetermflow) optimistic-delay progress stamp; grants still follow the recorded clocks
 				continue
 			}
 		}
@@ -1282,7 +1282,7 @@ func (rp *Replayer) awaitGroup(s *stream, reqs []*simmpi.Request) ([]pooled, err
 		if spins%64 == 0 {
 			runtime.Gosched()
 		}
-		if spins%1024 == 0 && time.Now().After(deadline) {
+		if spins%1024 == 0 && time.Now().After(deadline) { //cdc:allow(nodetermflow) stall detection deadline; grant order is driven by the recorded clocks
 			return nil, rp.stallError(s, len(staged), g)
 		}
 	}

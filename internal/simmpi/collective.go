@@ -100,7 +100,7 @@ func (c *collectives) sync(cm *Comm, v float64, op ReduceOp, reduce bool) (float
 		})
 		defer timeout.Stop()
 	}
-	start := time.Now()
+	start := time.Now() //cdc:allow(nodetermflow) wall clock bounds the collective wait for liveness; delivery order comes from the mailbox tick
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -148,7 +148,7 @@ func (c *collectives) sync(cm *Comm, v float64, op ReduceOp, reduce bool) (float
 			}
 			continue
 		}
-		if wallClock && time.Since(start) > cm.deadline {
+		if wallClock && time.Since(start) > cm.deadline { //cdc:allow(nodetermflow) deadline check for liveness; the collective's delivery order is tick-driven
 			return 0, ErrTimeout
 		}
 		c.cond.Wait()

@@ -235,7 +235,7 @@ func (c *Comm) Testall(reqs []*Request) (bool, []Status, error) {
 // must keep getting scheduled so its polls advance the mailbox tick.
 func (c *Comm) spinWait(cond func() bool) error {
 	seq := c.world.opts.Sequencer
-	start := time.Now()
+	start := time.Now() //cdc:allow(nodetermflow) spin-wait deadline guards liveness only; match order comes from the sequencer
 	spins := 0
 	for !cond() {
 		if c.world.aborted.Load() {
@@ -252,7 +252,7 @@ func (c *Comm) spinWait(cond func() bool) error {
 		if spins%64 == 0 {
 			runtime.Gosched()
 		}
-		if !c.world.opts.VirtualTime && spins%4096 == 0 && time.Since(start) > c.deadline {
+		if !c.world.opts.VirtualTime && spins%4096 == 0 && time.Since(start) > c.deadline { //cdc:allow(nodetermflow) deadline check for liveness, disabled under virtual time; match order is sequenced
 			return fmt.Errorf("%w: rank %d, %d message(s) in flight",
 				ErrTimeout, c.rank, c.world.boxes[c.rank].pending())
 		}
