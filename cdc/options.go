@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cdcreplay/internal/core"
+	"cdcreplay/internal/feed"
 	"cdcreplay/internal/obs"
 	"cdcreplay/internal/simmpi"
 	"cdcreplay/internal/spsc"
@@ -42,6 +43,7 @@ const (
 	modeRecord sessionMode = iota
 	modeReplay
 	modeRead
+	modeFeed
 )
 
 func (m sessionMode) String() string {
@@ -50,6 +52,8 @@ func (m sessionMode) String() string {
 		return "Record"
 	case modeReplay:
 		return "Replay"
+	case modeFeed:
+		return "Feed"
 	default:
 		return "Read"
 	}
@@ -94,6 +98,16 @@ type config struct {
 	optimisticSet   bool
 	live            bool
 	onRelease       func(rank int, st simmpi.Status)
+
+	// Feed side (OpenFeed sessions).
+	feedRank         int
+	feedRate         float64
+	feedInterval     time.Duration
+	feedClock        feed.Clock
+	subscriberBuffer int
+	slowConsumer     feed.Policy
+	startEpoch       int
+	feedPaused       bool
 }
 
 // decoderOptions is the decode policy the session's options describe.

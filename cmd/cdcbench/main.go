@@ -9,7 +9,7 @@
 //	cdcbench -exp all -http :6060   # live metrics + pprof while running
 //
 // Experiments: fig1, fig13, fig14, fig15, fig16, fig17, queue, piggyback,
-// replay, ablations, pipeline, encode, store, decode, all.
+// replay, ablations, pipeline, encode, store, decode, feed, all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|encode|store|decode|all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1|fig13|fig14|fig15|fig16|fig17|queue|piggyback|replay|ablations|pipeline|encode|store|decode|feed|all)")
 	full := flag.Bool("full", false, "paper-leaning scales (slower)")
 	seed := flag.Int64("seed", 1, "network noise seed")
 	metricsOut := flag.String("metrics-out", "", "write the pipeline experiment's metrics to this JSON file")
@@ -105,6 +105,19 @@ func main() {
 				fmt.Printf("wrote %s\n", *metricsOut)
 			}
 			return nil
+		}},
+		{"feed", func(c harness.Config) error {
+			res, err := harness.Feed(c)
+			if res != nil && *metricsOut != "" {
+				// Write even a failed capture: CI's jq gate reads the JSON to
+				// say which invariant (digest identity, pacing) broke.
+				if werr := res.WriteJSON(*metricsOut); werr != nil && err == nil {
+					err = werr
+				} else if werr == nil {
+					fmt.Printf("wrote %s\n", *metricsOut)
+				}
+			}
+			return err
 		}},
 		{"decode", func(c harness.Config) error {
 			res, err := harness.DecodeBench(c)

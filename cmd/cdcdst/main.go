@@ -7,11 +7,16 @@
 //	P3  decoding restores each schedule's own observed order
 //	P4  crash-salvage-replay preserves the salvaged prefix
 //
+// The separate -feed mode runs P6 instead: a live-paced feed seeked to any
+// epoch boundary must release exactly the frame stream a batch decode from
+// that boundary yields, swept across storage backends and decode widths.
+//
 // Usage:
 //
 //	cdcdst -policy random -seeds 64                  # random walk, all props
 //	cdcdst -policy reorder -depth 4 -workload mcb    # bounded delivery reorder
 //	cdcdst -policy exhaustive -depth 3               # every prefix up to depth
+//	cdcdst -feed -workload exchange                  # P6 feed-seek identity sweep
 //	cdcdst -repro traces/fail-00.trace               # replay a failing schedule
 //	cdcdst -workload pairs -corpus-out internal/cdcformat/testdata/fuzz/FuzzChunkDecode
 //
@@ -43,10 +48,28 @@ func main() {
 	traceOut := flag.String("trace-out", "dst-traces", "directory for failing-schedule trace files")
 	corpusOut := flag.String("corpus-out", "", "write decoded chunk encodings as Go fuzz seed corpus files into this directory")
 	repro := flag.String("repro", "", "replay a trace file instead of exploring")
+	feedP6 := flag.Bool("feed", false, "run the P6 feed-seek identity sweep instead of schedule exploration")
 	quiet := flag.Bool("q", false, "suppress progress lines (summary only)")
 	flag.Parse()
 
 	hcfg := harness.Config{Out: os.Stdout}
+
+	if *feedP6 {
+		rep, err := dst.CheckFeed(dst.FeedConfig{Workload: *workload, Seed: *seed, Short: *short})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdcdst: feed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("P6 feed-seek: %d checks over %d epoch boundaries\n", rep.Checks, rep.Epochs)
+		if len(rep.Failures) > 0 {
+			for _, f := range rep.Failures {
+				fmt.Fprintf(os.Stderr, "  FAIL %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("every seeked feed released its batch-replay frame stream exactly")
+		return
+	}
 
 	if *repro != "" {
 		if err := harness.DSTRepro(hcfg, *repro); err != nil {

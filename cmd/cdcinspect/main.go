@@ -9,6 +9,7 @@
 //	cdcinspect salvage [-json] -o <out> <record-dir> # dir layout: recover into a copy
 //	cdcinspect stats   [-json] [-decode-workers N] <record-file>...  # callsite/chunk summary
 //	cdcinspect dump    [-json] [-decode-workers N] <record-file>     # per-chunk tables
+//	cdcinspect feed    [-rank N] [-rate R | -max] [-http addr] <record-dir>  # live-paced replay
 package main
 
 import (
@@ -35,6 +36,7 @@ Commands:
   salvage  recover a replayable prefix from a crashed record directory
   stats    per-callsite summary of record files
   dump     stats plus per-chunk tables for one record file
+  feed     play a rank's record as a live-paced event feed
 
 Run 'cdcinspect <command> -h' for command flags.
 `)
@@ -55,6 +57,8 @@ func main() {
 		os.Exit(cmdStats(args))
 	case "dump":
 		os.Exit(cmdDump(args))
+	case "feed":
+		os.Exit(cmdFeed(args))
 	case "-h", "-help", "--help", "help":
 		usage()
 		os.Exit(0)

@@ -94,6 +94,16 @@ func getGzipReader(r io.Reader) (*gzip.Reader, error) {
 
 func putGzipReader(zr *gzip.Reader) { gzipReaderPool.Put(zr) }
 
+// emptySource is an always-exhausted frameSource: what a seek landing
+// exactly at the end of a blob iterates over.
+type emptySource struct{}
+
+func (emptySource) Next() (*Frame, error) { return nil, io.EOF }
+func (emptySource) Frames() uint64        { return 0 }
+func (emptySource) Events() uint64        { return 0 }
+func (emptySource) FlushPoints() uint64   { return 0 }
+func (emptySource) Close() error          { return nil }
+
 // decodeJob kinds.
 const (
 	djRaw = iota // verify + parse one raw frame (stream path)
@@ -420,23 +430,50 @@ func OpenRecordOptions(rd io.Reader, o DecoderOptions) (*RecordIter, error) {
 // OpenRecordAt, the iterator always starts at the beginning: it is a
 // faster full read, not a seek.
 func OpenRecordSegments(ra io.ReaderAt, size int64, cuts []int64, o DecoderOptions) (*RecordIter, error) {
+	return OpenRecordSegmentsAt(ra, size, 0, cuts, o)
+}
+
+// OpenRecordSegmentsAt is OpenRecordSegments with a seek: decoding starts
+// at blob offset start — either 0 (the record head, magic expected) or a
+// committed cut offset (a gzip member boundary, no magic) — and covers the
+// bytes from there to size. The paced replay feed uses it to jump the
+// decode pipeline to an epoch boundary instead of re-scanning the record.
+// Cut offsets at or before start are ignored, so passing the full cut list
+// is fine. As with OpenRecordAt, callsite-name frames before the seek
+// point are not replayed.
+//
+// With DecodeWorkers == 0 the tail is decoded serially from start.
+func OpenRecordSegmentsAt(ra io.ReaderAt, size, start int64, cuts []int64, o DecoderOptions) (*RecordIter, error) {
 	o.fill()
+	if start < 0 || start > size {
+		return nil, fmt.Errorf("core: seek offset %d outside blob of %d bytes", start, size)
+	}
+	if start == size {
+		// A cut at the very end of the blob (final flush at close) has an
+		// empty tail: a valid seek target with nothing left to decode.
+		return &RecordIter{src: emptySource{}, names: make(map[uint64]string)}, nil
+	}
 	if o.DecodeWorkers <= 0 {
-		return OpenRecord(io.NewSectionReader(ra, 0, size))
+		if start == 0 {
+			return OpenRecord(io.NewSectionReader(ra, 0, size))
+		}
+		return OpenRecordAt(io.NewSectionReader(ra, start, size-start))
 	}
-	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(io.NewSectionReader(ra, 0, size), magic); err != nil {
-		return nil, &TruncatedRecordError{Cause: fmt.Errorf("core: reading magic: %w", noEOF(err))}
-	}
-	if string(magic) != Magic {
-		return nil, fmt.Errorf("core: bad magic %q", magic)
+	prev := start
+	if start == 0 {
+		magic := make([]byte, len(Magic))
+		if _, err := io.ReadFull(io.NewSectionReader(ra, 0, size), magic); err != nil {
+			return nil, &TruncatedRecordError{Cause: fmt.Errorf("core: reading magic: %w", noEOF(err))}
+		}
+		if string(magic) != Magic {
+			return nil, fmt.Errorf("core: bad magic %q", magic)
+		}
+		prev = int64(len(Magic))
 	}
 	// Sanitize the cut list into strictly increasing member boundaries
-	// inside (magic, size); the tail past the last cut is the final
+	// inside (start, size); the tail past the last cut is the final
 	// segment.
-	start := int64(len(Magic))
 	var segs []segmentRange
-	prev := start
 	for _, c := range cuts {
 		if c <= prev || c >= size {
 			continue

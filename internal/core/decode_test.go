@@ -467,3 +467,76 @@ func TestOpenRecordSegmentsBadCuts(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenRecordSegmentsAtSeek pins the seek contract: starting a segment
+// decode at the k-th committed cut must deliver exactly the frames a serial
+// full decode yields after its k-th flush mark, at every pool width.
+func TestOpenRecordSegmentsAtSeek(t *testing.T) {
+	data, cuts := buildSeekableRecord(t, 117, 1200, 6)
+	serialIt, err := OpenRecord(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, _, _ := drainFlat(t, serialIt)
+
+	// tailAfterFlush returns the serial frame sequence past k flush marks.
+	tailAfterFlush := func(k int) []frameFlat {
+		seen := 0
+		for i, f := range all {
+			if f.kind == frameFlush {
+				seen++
+				if seen == k {
+					return all[i+1:]
+				}
+			}
+		}
+		t.Fatalf("record has fewer than %d flush marks", k)
+		return nil
+	}
+
+	for k := 1; k <= len(cuts); k++ {
+		want := tailAfterFlush(k)
+		for _, workers := range []int{0, 1, 2, 4} {
+			it, err := OpenRecordSegmentsAt(bytes.NewReader(data), int64(len(data)), cuts[k-1], cuts,
+				DecoderOptions{DecodeWorkers: workers})
+			if err != nil {
+				t.Fatalf("seek to cut %d workers=%d: %v", k, workers, err)
+			}
+			got, _, _ := drainFlat(t, it)
+			if len(got) != len(want) {
+				t.Fatalf("cut %d workers=%d: got %d frames, want %d", k, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cut %d workers=%d: frame %d differs", k, workers, i)
+				}
+			}
+		}
+	}
+
+	// start == 0 is exactly OpenRecordSegments.
+	it, err := OpenRecordSegmentsAt(bytes.NewReader(data), int64(len(data)), 0, cuts, DecoderOptions{DecodeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := drainFlat(t, it)
+	if len(got) != len(all) {
+		t.Fatalf("start=0: got %d frames, want %d", len(got), len(all))
+	}
+
+	// A seek landing exactly at the end of the blob is a valid empty tail.
+	it, err = OpenRecordSegmentsAt(bytes.NewReader(data), int64(len(data)), int64(len(data)), cuts, DecoderOptions{DecodeWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := drainFlat(t, it); len(got) != 0 {
+		t.Fatalf("seek to end: got %d frames, want 0", len(got))
+	}
+
+	// Out-of-range starts fail up front rather than decoding garbage.
+	for _, start := range []int64{-1, int64(len(data)) + 9} {
+		if _, err := OpenRecordSegmentsAt(bytes.NewReader(data), int64(len(data)), start, cuts, DecoderOptions{DecodeWorkers: 2}); err == nil {
+			t.Fatalf("start=%d: want error, got nil", start)
+		}
+	}
+}

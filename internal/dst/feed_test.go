@@ -1,0 +1,20 @@
+package dst
+
+import "testing"
+
+func TestFeedSeekMatchesBatchReplay(t *testing.T) {
+	rep, err := CheckFeed(FeedConfig{Seed: 1, Short: testing.Short()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Failures {
+		t.Error(f)
+	}
+	if rep.Checks == 0 {
+		t.Fatal("P6 ran no checks")
+	}
+	if rep.Epochs < 2 {
+		t.Errorf("record committed %d epoch boundaries; the sweep needs several to mean anything", rep.Epochs)
+	}
+	t.Logf("P6: %d seek checks over %d epochs", rep.Checks, rep.Epochs)
+}

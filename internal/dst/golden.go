@@ -62,6 +62,15 @@ func DeterministicRecord(workloadName string, seed int64, short bool, opts core.
 // dirstore byte-compatibility golden test — on a non-seekable backend the
 // blob bytes must equal DeterministicRecord's buffers exactly.
 func DeterministicRecordTo(workloadName string, seed int64, short bool, opts core.EncoderOptions, st store.Store) error {
+	return DeterministicRecordToOpts(workloadName, seed, short, opts, recOpts(), st)
+}
+
+// DeterministicRecordToOpts is DeterministicRecordTo with an explicit
+// record-layer configuration, for callers that need a different flush
+// cadence than the golden fixtures — denser flushes commit more epoch
+// boundaries, which the feed-seek sweep (P6) wants even on the short
+// workloads.
+func DeterministicRecordToOpts(workloadName string, seed int64, short bool, opts core.EncoderOptions, ropts record.Options, st store.Store) error {
 	wl, err := workloadFor(workloadName)
 	if err != nil {
 		return err
@@ -87,7 +96,7 @@ func DeterministicRecordTo(workloadName string, seed int64, short bool, opts cor
 			bw.Close()
 			return err
 		}
-		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), recOpts())
+		rec := record.New(lamport.Wrap(mpi), baseline.NewCDC(enc), ropts)
 		aerr := app(rec)
 		cerr := rec.Close()
 		werr := bw.Close()

@@ -1,0 +1,87 @@
+package feed_test
+
+import (
+	"testing"
+	"time"
+
+	"cdcreplay/internal/feed"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func TestVirtualClockFiresInDeadlineOrder(t *testing.T) {
+	vc := feed.NewVirtualClock(t0)
+	c30, _ := vc.After(30 * time.Millisecond)
+	c10, _ := vc.After(10 * time.Millisecond)
+	c20, _ := vc.After(20 * time.Millisecond)
+	if got := vc.Waiting(); got != 3 {
+		t.Fatalf("Waiting = %d, want 3", got)
+	}
+
+	vc.Advance(15 * time.Millisecond)
+	select {
+	case at := <-c10:
+		if want := t0.Add(10 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("10ms waiter fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("10ms waiter did not fire after Advance(15ms)")
+	}
+	select {
+	case <-c20:
+		t.Fatal("20ms waiter fired early")
+	case <-c30:
+		t.Fatal("30ms waiter fired early")
+	default:
+	}
+
+	vc.Advance(20 * time.Millisecond) // now at +35ms: both remaining fire
+	at20, at30 := <-c20, <-c30
+	if want := t0.Add(20 * time.Millisecond); !at20.Equal(want) {
+		t.Fatalf("20ms waiter fired at %v, want %v", at20, want)
+	}
+	if want := t0.Add(30 * time.Millisecond); !at30.Equal(want) {
+		t.Fatalf("30ms waiter fired at %v, want %v", at30, want)
+	}
+	if got := vc.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d after all fired, want 0", got)
+	}
+	if got := vc.Waits(); got != 3 {
+		t.Fatalf("Waits = %d, want 3", got)
+	}
+}
+
+func TestVirtualClockImmediateAndCancel(t *testing.T) {
+	vc := feed.NewVirtualClock(t0)
+	ch, cancel := vc.After(0)
+	select {
+	case at := <-ch:
+		if !at.Equal(t0) {
+			t.Fatalf("immediate waiter fired at %v, want %v", at, t0)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	cancel()
+
+	ch2, cancel2 := vc.After(time.Second)
+	cancel2()
+	if got := vc.Waiting(); got != 0 {
+		t.Fatalf("Waiting = %d after cancel, want 0", got)
+	}
+	vc.Advance(2 * time.Second)
+	select {
+	case <-ch2:
+		t.Fatal("cancelled waiter fired")
+	default:
+	}
+}
+
+func TestVirtualClockSetIsMonotone(t *testing.T) {
+	vc := feed.NewVirtualClock(t0)
+	vc.Set(t0.Add(time.Minute))
+	vc.Set(t0.Add(time.Second)) // earlier: ignored
+	if got, want := vc.Now(), t0.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Now = %v, want %v", got, want)
+	}
+}

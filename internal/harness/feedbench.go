@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	livefeed "cdcreplay/internal/feed"
+	"cdcreplay/internal/obs"
+	"cdcreplay/internal/store/memstore"
+	"cdcreplay/internal/tables"
+	"cdcreplay/internal/workload"
+)
+
+// FeedBenchResult is the machine-readable BENCH_replay.json payload: the
+// live-paced feed measured three ways over one recorded run — stream
+// identity against a batch decode (the hard invariant), pacing fidelity
+// (achieved rate vs requested, release jitter), and epoch-seek control
+// latency. Jitter and rate error run on the wall clock, so CI gates them
+// advisorily; the digest gate is absolute.
+type FeedBenchResult struct {
+	Seed   int64 `json:"seed"`
+	Full   bool  `json:"full"`
+	Events int   `json:"events"`
+	Epochs int   `json:"epochs"`
+	Bytes  int64 `json:"bytes"`
+
+	// DigestIdentical reports the unpaced feed released exactly the
+	// frame stream a batch decode yields.
+	DigestIdentical bool   `json:"digest_identical"`
+	FeedDigest      string `json:"feed_digest"`
+	BatchDigest     string `json:"batch_digest"`
+
+	// Pacing fidelity at the requested sim rate.
+	RequestedRate float64 `json:"requested_rate"`
+	AchievedRate  float64 `json:"achieved_rate"`
+	// RateErrorPct is |achieved-requested|/requested, in percent.
+	RateErrorPct float64 `json:"rate_error_pct"`
+	IntervalNs   int64   `json:"interval_ns"`
+	PlannedNs    int64   `json:"planned_ns"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	Releases     uint64  `json:"releases"`
+
+	// Release jitter (actual release minus deadline) from the feed's own
+	// feed.release.jitter.ns histogram.
+	JitterP50Ns uint64 `json:"release_jitter_p50_ns"`
+	JitterP99Ns uint64 `json:"release_jitter_p99_ns"`
+	JitterMaxNs uint64 `json:"release_jitter_max_ns"`
+
+	// Epoch-seek control latency: the synchronous Seek round trip,
+	// including the decode-pipeline reopen at the target boundary.
+	Seeks      int   `json:"seeks"`
+	SeekP50Ns  int64 `json:"seek_p50_ns"`
+	SeekP99Ns  int64 `json:"seek_p99_ns"`
+	SeekMaxNs  int64 `json:"seek_max_ns"`
+	SeekMeanNs int64 `json:"seek_mean_ns"`
+}
+
+// Validate checks the capture is usable as a regression gate: digest
+// identity is mandatory, every dimension must actually have been
+// measured; jitter and rate-error magnitudes are judged CI-side.
+func (r *FeedBenchResult) Validate() error {
+	if !r.DigestIdentical {
+		return fmt.Errorf("feed: released frame stream differs from batch decode (feed %s, batch %s)",
+			r.FeedDigest[:12], r.BatchDigest[:12])
+	}
+	if r.Releases == 0 || r.ElapsedNs <= 0 {
+		return fmt.Errorf("feed: paced pass released nothing")
+	}
+	if r.AchievedRate <= 0 {
+		return fmt.Errorf("feed: no achieved rate measured")
+	}
+	if r.Seeks == 0 || r.SeekMaxNs <= 0 {
+		return fmt.Errorf("feed: no seek latency measured")
+	}
+	return nil
+}
+
+// WriteJSON writes the result to path (indented, trailing newline).
+func (r *FeedBenchResult) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// feedBenchDrain consumes a subscription to stream end, folding released
+// frames into a digest (same scheme as decodeBenchPass) and returning the
+// flush-release count.
+func feedBenchDrain(sub *livefeed.Subscription) (digest string, flushes uint64, err error) {
+	h := sha256.New()
+	var lenBuf [binary.MaxVarintLen64]byte
+	for {
+		ev, ok := sub.Recv()
+		if !ok {
+			return hex.EncodeToString(h.Sum(nil)), flushes, nil
+		}
+		switch ev.Kind {
+		case livefeed.KindFrame, livefeed.KindFlush:
+			h.Write([]byte{ev.Frame.Kind})
+			h.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(ev.Frame.Payload)))])
+			h.Write(ev.Frame.Payload)
+			if ev.Kind == livefeed.KindFlush {
+				flushes++
+			}
+		case livefeed.KindEnd:
+			if ev.Err != "" {
+				return "", flushes, fmt.Errorf("feed ended with error: %s", ev.Err)
+			}
+		}
+	}
+}
+
+// Feed measures the live-paced replay feed on one recorded rank:
+//
+//  1. an unpaced (RateMax) pass pins the released frame stream against a
+//     serial batch decode of the same record;
+//  2. a paced pass at a fixed sim rate measures achieved rate and release
+//     jitter through the feed's own instruments;
+//  3. a sweep of epoch seeks on a paused feed measures the synchronous
+//     control round trip, pipeline reopen included.
+func Feed(cfg Config) (*FeedBenchResult, error) {
+	cfg.fill()
+	events := cfg.pick(60_000, 400_000)
+	const epochs = 32
+	result := &FeedBenchResult{Seed: cfg.Seed, Full: cfg.Full, RequestedRate: 2}
+
+	evs := [][]tables.Event{workload.Stream(workload.StreamParams{
+		Events: events, Senders: 8, Disorder: 5, UnmatchedProb: 0.05,
+		Seed: cfg.Seed,
+	})}
+	st := memstore.New()
+	if _, err := storeBenchRecord(st, evs, epochs); err != nil {
+		return nil, fmt.Errorf("feed: recording: %w", err)
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	idx := m.RankIndex(0)
+	if len(idx) == 0 {
+		return nil, fmt.Errorf("feed: record committed no epoch boundaries")
+	}
+	result.Events = events
+	result.Epochs = len(idx)
+	result.Bytes = idx[len(idx)-1].Offset
+	lastClock := idx[len(idx)-1].Clock
+
+	// --- 1. identity: unpaced feed vs batch decode ----------------------
+	reg := obs.NewRegistry()
+	if cfg.OnRegistry != nil {
+		cfg.OnRegistry(reg)
+	}
+	f, err := livefeed.Open(st, livefeed.Options{Rank: 0, Rate: livefeed.RateMax, Obs: reg})
+	if err != nil {
+		return nil, fmt.Errorf("feed: open: %w", err)
+	}
+	sub, err := f.Subscribe()
+	if err != nil {
+		f.Close() //cdc:allow(errsink) best-effort cleanup; the subscribe error is already propagating
+		return nil, err
+	}
+	result.FeedDigest, _, err = feedBenchDrain(sub)
+	f.Close() //cdc:allow(errsink) stream already drained to its end marker
+	if err != nil {
+		return nil, fmt.Errorf("feed: unpaced pass: %w", err)
+	}
+	batchDigest, _, err := decodeBenchPass(st, 1, 0)
+	if err != nil {
+		return nil, fmt.Errorf("feed: batch decode: %w", err)
+	}
+	result.BatchDigest = batchDigest
+	result.DigestIdentical = result.FeedDigest == result.BatchDigest
+
+	// --- 2. pacing fidelity at a fixed sim rate --------------------------
+	// Size the tick so the paced pass takes a fixed wall budget at the
+	// requested rate: long enough for the pacer's timers to dominate
+	// scheduling noise, short enough for CI.
+	target := time.Duration(cfg.pick(int(400*time.Millisecond), int(2*time.Second)))
+	interval := time.Duration(float64(target) * result.RequestedRate / float64(lastClock))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	result.IntervalNs = int64(interval)
+	result.PlannedNs = int64(float64(lastClock) * float64(interval) / result.RequestedRate)
+
+	reg2 := obs.NewRegistry()
+	if cfg.OnRegistry != nil {
+		cfg.OnRegistry(reg2)
+	}
+	pf, err := livefeed.Open(st, livefeed.Options{
+		Rank: 0, Rate: result.RequestedRate, Interval: interval,
+		Paused: true, Obs: reg2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("feed: paced open: %w", err)
+	}
+	psub, err := pf.Subscribe()
+	if err != nil {
+		pf.Close() //cdc:allow(errsink) best-effort cleanup; the subscribe error is already propagating
+		return nil, err
+	}
+	start := time.Now()
+	if err := pf.Resume(); err != nil {
+		pf.Close() //cdc:allow(errsink) best-effort cleanup; the resume error is already propagating
+		return nil, err
+	}
+	if _, _, err := feedBenchDrain(psub); err != nil {
+		pf.Close() //cdc:allow(errsink) best-effort cleanup; the drain error is already propagating
+		return nil, fmt.Errorf("feed: paced pass: %w", err)
+	}
+	result.ElapsedNs = time.Since(start).Nanoseconds()
+	result.Releases = pf.Stats().Released
+	pf.Close() //cdc:allow(errsink) stream already drained to its end marker
+	// Achieved rate: recorded span per wall second, in the same units the
+	// request uses (recorded seconds per feed second).
+	result.AchievedRate = float64(lastClock) * float64(interval) / float64(result.ElapsedNs)
+	result.RateErrorPct = 100 * abs(result.AchievedRate-result.RequestedRate) / result.RequestedRate
+	jitter := reg2.Snapshot().Histogram("feed.release.jitter.ns")
+	result.JitterP50Ns = jitter.Quantile(0.50)
+	result.JitterP99Ns = jitter.Quantile(0.99)
+	result.JitterMaxNs = jitter.Max
+
+	// --- 3. epoch-seek control latency -----------------------------------
+	sf, err := livefeed.Open(st, livefeed.Options{Rank: 0, Rate: livefeed.RateMax, Paused: true})
+	if err != nil {
+		return nil, fmt.Errorf("feed: seek open: %w", err)
+	}
+	var seekNs []int64
+	var seekSum int64
+	for pass := 0; pass < 3; pass++ {
+		for e := 0; e <= len(idx); e++ {
+			t0 := time.Now()
+			if err := sf.Seek(e); err != nil {
+				sf.Close() //cdc:allow(errsink) best-effort cleanup; the seek error is already propagating
+				return nil, fmt.Errorf("feed: seek %d: %w", e, err)
+			}
+			ns := time.Since(t0).Nanoseconds()
+			seekNs = append(seekNs, ns)
+			seekSum += ns
+		}
+	}
+	sf.Close() //cdc:allow(errsink) measurement feed never resumed; nothing in flight
+	sort.Slice(seekNs, func(i, j int) bool { return seekNs[i] < seekNs[j] })
+	result.Seeks = len(seekNs)
+	result.SeekP50Ns = seekNs[len(seekNs)/2]
+	result.SeekP99Ns = seekNs[(len(seekNs)*99)/100]
+	result.SeekMaxNs = seekNs[len(seekNs)-1]
+	result.SeekMeanNs = seekSum / int64(len(seekNs))
+
+	cfg.printf("Live feed: %d events, %d epochs, %s record\n", events, result.Epochs, human(result.Bytes))
+	cfg.printf("  identity: feed %s vs batch %s (identical=%v)\n",
+		result.FeedDigest[:12], result.BatchDigest[:12], result.DigestIdentical)
+	cfg.printf("  pacing:   rate %.2fx requested, %.3fx achieved (%.2f%% error) over %s\n",
+		result.RequestedRate, result.AchievedRate, result.RateErrorPct,
+		time.Duration(result.ElapsedNs).Round(time.Millisecond))
+	cfg.printf("  jitter:   p50 %s  p99 %s  max %s (%d releases)\n",
+		time.Duration(result.JitterP50Ns), time.Duration(result.JitterP99Ns),
+		time.Duration(result.JitterMaxNs), result.Releases)
+	cfg.printf("  seek:     p50 %s  p99 %s  max %s (%d seeks over %d boundaries)\n",
+		time.Duration(result.SeekP50Ns), time.Duration(result.SeekP99Ns),
+		time.Duration(result.SeekMaxNs), result.Seeks, len(idx))
+
+	if err := result.Validate(); err != nil {
+		return result, err
+	}
+	return result, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -22,6 +22,7 @@ var NodetermAnalyzer = &Analyzer{
 		"internal/tables",
 		"internal/lamport",
 		"internal/core",
+		"internal/feed",
 	},
 	Run: runNodeterm,
 }

@@ -7,6 +7,7 @@
 //	/metrics      current snapshot as JSON (pretty-printed with ?pretty)
 //	/debug/vars   same payload under the conventional expvar path
 //	/debug/pprof  the standard pprof index, profile, trace, …
+//	/feed         live replay releases as NDJSON (HandlerWithFeed only)
 package obshttp
 
 import (
@@ -14,7 +15,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
+	"cdcreplay/internal/feed"
 	"cdcreplay/internal/obs"
 )
 
@@ -41,6 +44,109 @@ func Handler(src Source) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// FeedSource hands out subscriptions to a live replay feed — satisfied by
+// *feed.Feed (and by cdc.Feed, its public alias).
+type FeedSource interface {
+	Subscribe() (*feed.Subscription, error)
+}
+
+// feedLine is one /feed NDJSON record: the release metadata plus a frame
+// summary. Payload bytes stay out of the stream — a dashboard follows the
+// pacing and discontinuities, a decoder opens the record itself.
+type feedLine struct {
+	Seq        uint64 `json:"seq"`
+	Kind       string `json:"kind"`
+	Epoch      int    `json:"epoch"`
+	Clock      uint64 `json:"clock,omitempty"`
+	DueNs      int64  `json:"due_unix_ns,omitempty"`
+	AtNs       int64  `json:"at_unix_ns"`
+	FrameKind  uint8  `json:"frame_kind,omitempty"`
+	FrameBytes int    `json:"frame_bytes,omitempty"`
+	Dropped    uint64 `json:"dropped,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+func toFeedLine(ev feed.Event) feedLine {
+	l := feedLine{
+		Seq:     ev.Seq,
+		Kind:    ev.Kind.String(),
+		Epoch:   ev.Epoch,
+		Clock:   ev.Clock,
+		AtNs:    ev.At.UnixNano(),
+		Dropped: ev.Dropped,
+		Err:     ev.Err,
+	}
+	if !ev.Due.IsZero() {
+		l.DueNs = ev.Due.UnixNano()
+	}
+	if ev.Frame != nil {
+		l.FrameKind = ev.Frame.Kind
+		l.FrameBytes = len(ev.Frame.Payload)
+	}
+	return l
+}
+
+// HandlerWithFeed is Handler plus a /feed route: each request subscribes
+// to fs and streams every release as one JSON line, flushed per event so a
+// dashboard sees releases as they happen. The stream ends when the feed
+// ends or the client disconnects; a disconnected subscriber is closed, so
+// it never throttles a Block-policy feed from the grave.
+func HandlerWithFeed(src Source, fs FeedSource) http.Handler {
+	mux := Handler(src).(*http.ServeMux)
+	mux.HandleFunc("/feed", func(w http.ResponseWriter, req *http.Request) {
+		sub, err := fs.Subscribe()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		// Recv blocks with no ctx; detach the subscription on disconnect so
+		// it unblocks and the hub stops delivering to it.
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-req.Context().Done():
+			case <-done:
+			}
+			sub.Close()
+		}()
+		w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		// Commit the headers before the first release: a client tailing a
+		// paused feed should see the stream open immediately, not block
+		// until the first event arrives.
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		for {
+			ev, ok := sub.Recv()
+			if !ok {
+				return
+			}
+			if err := enc.Encode(toFeedLine(ev)); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
+	return mux
+}
+
+// ServeFeed is Serve with the /feed route wired to fs.
+func ServeFeed(addr string, src Source, fs FeedSource) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: HandlerWithFeed(src, fs), ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
 }
 
 // Serve starts an HTTP server for src on addr (e.g. ":6060") in a

@@ -128,6 +128,71 @@ func OpenRankIter(st Store, rank int, o core.DecoderOptions) (*core.RecordIter, 
 	return it, r, nil
 }
 
+// SeekRankIter opens one rank's record positioned at the start of epoch —
+// 0-based: epoch 0 is the record head, epoch k (1 ≤ k ≤ len(index)) begins
+// just past the rank's k-th committed cut, so epoch len(index) is the tail
+// written after the last commit. The first frame Next returns is the first
+// frame of the target epoch, identically on every backend:
+//
+//   - a seekable store jumps straight to the cut's blob offset, and with
+//     DecodeWorkers ≥ 1 the remaining epochs decode segment-parallel
+//     (core.OpenRecordSegmentsAt);
+//   - a non-seekable store decodes from byte zero and discards frames until
+//     epoch flush marks have passed — same frame stream, linear cost.
+//
+// Callsite-name frames before the seek point are replayed only on the skip
+// path, so names resolve best-effort after a seek. Seeking to epoch 0 is
+// exactly OpenRankIter. On incomplete runs the blob arrives pinned, so a
+// seek target can only name committed epochs.
+func SeekRankIter(st Store, rank, epoch int, o core.DecoderOptions) (*core.RecordIter, io.Closer, error) {
+	if epoch <= 0 {
+		if epoch < 0 {
+			return nil, nil, fmt.Errorf("store: negative seek epoch %d", epoch)
+		}
+		return OpenRankIter(st, rank, o)
+	}
+	m, err := st.Manifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := m.RankIndex(rank)
+	if epoch > len(idx) {
+		return nil, nil, fmt.Errorf("store: rank %d has %d committed epoch(s), cannot seek to epoch %d", rank, len(idx), epoch)
+	}
+	r, err := st.OpenRank(rank)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Seekable() {
+		cuts := make([]int64, 0, len(idx)-epoch)
+		for _, e := range idx[epoch:] {
+			cuts = append(cuts, e.Offset)
+		}
+		it, err := core.OpenRecordSegmentsAt(r, r.Size(), idx[epoch-1].Offset, cuts, o)
+		if err != nil {
+			r.Close() //cdc:allow(errsink) open failed; the open error is the one to report
+			return nil, nil, err
+		}
+		return it, r, nil
+	}
+	it, err := core.OpenRecordOptions(r, o)
+	if err != nil {
+		r.Close() //cdc:allow(errsink) open failed; the open error is the one to report
+		return nil, nil, err
+	}
+	for it.FlushPoints() < uint64(epoch) {
+		if _, err := it.Next(); err != nil {
+			it.Close() //cdc:allow(errsink) best-effort cleanup; the scan error is already propagating
+			r.Close()  //cdc:allow(errsink) best-effort cleanup; the scan error is already propagating
+			if err == io.EOF {
+				err = fmt.Errorf("store: rank %d record ended before epoch %d", rank, epoch)
+			}
+			return nil, nil, err
+		}
+	}
+	return it, r, nil
+}
+
 // RankFrontier scans one rank's full blob (torn tail included) and reports
 // its logical-event frontier: the number of logical events (each matched
 // receive counts one, each unmatched test counts one — an aggregated

@@ -1,0 +1,160 @@
+package store_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"cdcreplay/internal/core"
+	"cdcreplay/internal/store"
+	"cdcreplay/internal/store/dirstore"
+	"cdcreplay/internal/store/memstore"
+	"cdcreplay/internal/workload"
+)
+
+// recordEpochs streams a synthetic workload into st as one rank with an
+// index commit per epoch, mirroring what the cdc pipeline does.
+func recordEpochs(t *testing.T, st store.Store, events, epochs int) {
+	t.Helper()
+	if err := st.Create(store.Manifest{Ranks: 1, App: "seek-test"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.CreateRank(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.NewEncoder(w, core.EncoderOptions{
+		ChunkEvents:  64,
+		SeekableCuts: st.Seekable(),
+		OnFlushPoint: func(clock, events uint64, offset int64) error {
+			return w.Commit(store.Cut{Clock: clock, Events: events, Offset: offset})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := workload.Stream(workload.StreamParams{Events: events, Senders: 4, Disorder: 3, Seed: 7})
+	per := (len(evs) + epochs - 1) / epochs
+	var maxClock uint64
+	for i, ev := range evs {
+		if err := enc.Observe(1, ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Clock > maxClock {
+			maxClock = ev.Clock
+		}
+		if (i+1)%per == 0 && i+1 < len(evs) {
+			if err := enc.FlushAll(maxClock); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// drainKinds consumes an iterator to EOF, returning (kind, payload) pairs.
+func drainKinds(t *testing.T, it *core.RecordIter) []string {
+	t.Helper()
+	var out []string
+	for {
+		f, err := it.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, fmt.Sprintf("%d:%s", f.Kind, f.Payload))
+	}
+}
+
+// TestSeekRankIterEpochBoundaries pins the seek contract across backends:
+// SeekRankIter(epoch) must deliver exactly the frames a full decode yields
+// past epoch flush marks, on the seekable jump path and the skip path
+// alike, at serial and pooled widths.
+func TestSeekRankIterEpochBoundaries(t *testing.T) {
+	backends := []struct {
+		name string
+		mk   func(t *testing.T) store.Store
+	}{
+		{"mem", func(t *testing.T) store.Store { return memstore.New() }},
+		{"dir", func(t *testing.T) store.Store { return dirstore.New(t.TempDir()) }},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			st := b.mk(t)
+			recordEpochs(t, st, 900, 5)
+			m, err := st.Manifest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := m.RankIndex(0)
+			if len(idx) == 0 {
+				t.Fatal("no committed epochs")
+			}
+
+			it, blob, err := store.OpenRankIter(st, 0, core.DecoderOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			all := drainKinds(t, it)
+			it.Close()
+			blob.Close()
+
+			// tail returns the frames past k flush marks of the full stream.
+			tail := func(k int) []string {
+				seen := 0
+				for i, f := range all {
+					if f[0] == '3' { // frameFlush kind
+						seen++
+						if seen == k {
+							return all[i+1:]
+						}
+					}
+				}
+				t.Fatalf("fewer than %d flush marks", k)
+				return nil
+			}
+
+			for epoch := 0; epoch <= len(idx); epoch++ {
+				want := all
+				if epoch > 0 {
+					want = tail(epoch)
+				}
+				for _, workers := range []int{0, 2} {
+					it, blob, err := store.SeekRankIter(st, 0, epoch, core.DecoderOptions{DecodeWorkers: workers})
+					if err != nil {
+						t.Fatalf("epoch %d workers=%d: %v", epoch, workers, err)
+					}
+					got := drainKinds(t, it)
+					it.Close()
+					blob.Close()
+					if len(got) != len(want) {
+						t.Fatalf("epoch %d workers=%d: got %d frames, want %d", epoch, workers, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("epoch %d workers=%d: frame %d differs", epoch, workers, i)
+						}
+					}
+				}
+			}
+
+			// Out-of-range epochs fail cleanly.
+			if _, _, err := store.SeekRankIter(st, 0, len(idx)+1, core.DecoderOptions{}); err == nil {
+				t.Fatal("seek past last committed epoch: want error")
+			}
+			if _, _, err := store.SeekRankIter(st, 0, -1, core.DecoderOptions{}); err == nil {
+				t.Fatal("negative epoch: want error")
+			}
+		})
+	}
+}
